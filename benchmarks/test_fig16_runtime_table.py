@@ -1,0 +1,72 @@
+"""Figure 16 — the runtime table: SpiderMine, SUBDUE, SEuS and MoSS on GID 1-5.
+
+The paper's table reports seconds per algorithm per dataset, with "-" where
+MoSS could not complete within 10 hours (GID 2, 4, 5 — the denser settings).
+Here the datasets are scaled down and MoSS gets a small wall-clock budget, so
+the non-completion marker appears for the same reason (complete enumeration
+does not fit the budget on denser data).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DID_NOT_FINISH, ExperimentRecord, RuntimeTable
+from repro.baselines import run_moss, run_seus, run_subdue
+from repro.core import SpiderMine, SpiderMineConfig
+from repro.datasets import GID_SETTINGS
+
+SCALE = 0.25
+MIN_SUPPORT = 2
+K = 10
+D_MAX = 4
+MOSS_BUDGET_SECONDS = 10.0
+
+
+@pytest.mark.figure("fig16")
+def test_runtime_table(benchmark, results_dir):
+    table = RuntimeTable()
+    record = ExperimentRecord(
+        experiment_id="fig16_runtime_table",
+        description="Figure 16: runtime comparison on GID 1-5",
+        parameters={"scale": SCALE, "min_support": MIN_SUPPORT, "k": K, "d_max": D_MAX,
+                    "moss_budget_seconds": MOSS_BUDGET_SECONDS},
+    )
+
+    def sweep():
+        rows = []
+        for gid, setting in GID_SETTINGS.items():
+            graph = setting.generate(seed=70 + gid, scale=SCALE).graph
+            config = SpiderMineConfig(min_support=MIN_SUPPORT, k=K, d_max=D_MAX, seed=0)
+            spidermine = SpiderMine(graph, config).mine()
+            subdue = run_subdue(graph, num_best=K)
+            seus = run_seus(graph, min_support=MIN_SUPPORT)
+            moss = run_moss(graph, min_support=MIN_SUPPORT, max_edges=30,
+                            time_budget_seconds=MOSS_BUDGET_SECONDS)
+            rows.append((gid, spidermine, subdue, seus, moss))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for gid, spidermine, subdue, seus, moss in rows:
+        dataset = f"GID {gid}"
+        table.record_result(dataset, spidermine)
+        table.record_result(dataset, subdue)
+        table.record_result(dataset, seus)
+        table.record_result(dataset, moss, completed=bool(moss.parameters["completed"]))
+        record.add_measurement(
+            gid=gid,
+            spidermine_seconds=spidermine.runtime_seconds,
+            subdue_seconds=subdue.runtime_seconds,
+            seus_seconds=seus.runtime_seconds,
+            moss_seconds=moss.runtime_seconds if moss.parameters["completed"] else None,
+            moss_completed=bool(moss.parameters["completed"]),
+        )
+    record.save(results_dir)
+    print("\n" + table.to_text("Figure 16: runtime comparison (seconds)"))
+
+    # Every algorithm produced a row for every dataset.
+    assert len(table.rows) == 5
+    for dataset, row in table.rows.items():
+        assert set(row) == {"SpiderMine", "SUBDUE", "SEuS", "MoSS"}
+    # SpiderMine completed everywhere.
+    assert all(row["SpiderMine"] != DID_NOT_FINISH for row in table.rows.values())

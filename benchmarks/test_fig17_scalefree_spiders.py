@@ -1,0 +1,60 @@
+"""Figure 17 — number of r-spiders and Stage-I runtime on scale-free networks.
+
+The paper shows that on Barabási–Albert graphs the number of radius-1 spiders
+grows sharply with graph size (high-degree hubs generate huge numbers of
+small frequent patterns) and the runtime grows accordingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentRecord, SeriesReport
+from repro.core import SpiderMineConfig, SpiderMiner
+from repro.datasets import scalability_series
+
+SIZES = [60, 120, 200]
+MIN_SUPPORT = 2
+MAX_SPIDER_SIZE = 4
+
+
+@pytest.mark.figure("fig17")
+def test_scalefree_spider_counts(benchmark, results_dir):
+    datasets = scalability_series(
+        SIZES, average_degree=3.0, num_labels=100, num_large=2, large_vertices=12,
+        seed=81, model="barabasi_albert",
+    )
+    series = SeriesReport(x_label="graph_edges")
+    record = ExperimentRecord(
+        experiment_id="fig17_scalefree_spiders",
+        description="Figure 17: number of r-spiders (r=1) and Stage-I runtime on scale-free graphs",
+        parameters={"sizes": SIZES, "min_support": MIN_SUPPORT, "max_spider_size": MAX_SPIDER_SIZE},
+    )
+
+    def sweep():
+        import time
+        rows = []
+        for data in datasets:
+            graph = data.graph
+            config = SpiderMineConfig(
+                min_support=MIN_SUPPORT, max_spider_size=MAX_SPIDER_SIZE, max_spiders=50000
+            )
+            start = time.perf_counter()
+            spiders = SpiderMiner(graph, config).mine()
+            elapsed = time.perf_counter() - start
+            rows.append((graph.num_edges, len(spiders), elapsed, graph.max_degree()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for edges, num_spiders, runtime, max_degree in rows:
+        series.add_point(edges, num_spiders=num_spiders,
+                         stage1_seconds=round(runtime, 3), max_degree=max_degree)
+        record.add_measurement(graph_edges=edges, num_spiders=num_spiders,
+                               stage1_seconds=runtime, max_degree=max_degree)
+    record.save(results_dir)
+    print("\n" + series.to_text("Figure 17: #r-spiders and Stage-I runtime (scale-free)"))
+
+    # Shape: spider count increases sharply with graph size.
+    counts = [row[1] for row in rows]
+    assert counts[-1] > counts[0]
+    assert counts[-1] >= 2 * counts[0]

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare SpiderMine against the paper's baselines on one synthetic dataset.
+
+Runs SpiderMine, SUBDUE, SEuS, GREW and (budgeted) MoSS on a GID-1-style
+synthetic single graph and prints the pattern-size distribution and runtime
+table — a one-dataset version of Figures 4 and 16.  The transaction-setting
+comparison against ORIGAMI (Figures 14/15) is also included on a small graph
+database.
+
+Run:  python examples/compare_baselines.py
+"""
+
+from __future__ import annotations
+
+from repro import SpiderMine, SpiderMineConfig
+from repro.analysis import RuntimeTable, SizeDistributionComparison
+from repro.baselines import run_grew, run_moss, run_origami, run_seus, run_subdue
+from repro.datasets import GID_SETTINGS, transaction_database
+from repro.transaction import mine_transaction_top_k
+
+
+def single_graph_comparison() -> None:
+    print("=" * 70)
+    print("Single-graph setting (GID-1-style data, scaled down)")
+    print("=" * 70)
+    data = GID_SETTINGS[1].generate(seed=1, scale=0.5)
+    graph = data.graph
+    print(f"|V|={graph.num_vertices} |E|={graph.num_edges} "
+          f"planted large sizes={data.planted_large_sizes}")
+
+    table = RuntimeTable()
+    comparison = SizeDistributionComparison()
+
+    config = SpiderMineConfig(min_support=2, k=10, d_max=4, seed=0)
+    spidermine_result = SpiderMine(graph, config).mine()
+    table.record_result("GID1 (scaled)", spidermine_result)
+    comparison.add(spidermine_result)
+
+    for name, runner in [
+        ("SUBDUE", lambda: run_subdue(graph, num_best=10)),
+        ("SEuS", lambda: run_seus(graph, min_support=2)),
+        ("GREW", lambda: run_grew(graph, min_support=2)),
+        ("MoSS", lambda: run_moss(graph, min_support=2, max_edges=8, time_budget_seconds=30)),
+    ]:
+        result = runner()
+        completed = bool(result.parameters.get("completed", True))
+        table.record_result("GID1 (scaled)", result, completed=completed)
+        comparison.add(result, name=name)
+
+    print()
+    print(comparison.to_text("Pattern-size distribution (Figure 4 analogue)"))
+    print()
+    print(table.to_text("Runtime comparison (Figure 16 analogue)"))
+
+
+def transaction_comparison() -> None:
+    print()
+    print("=" * 70)
+    print("Graph-transaction setting vs ORIGAMI (Figures 14/15 analogue)")
+    print("=" * 70)
+    database = transaction_database(
+        num_graphs=6, graph_vertices=120, num_labels=40,
+        num_large=2, large_vertices=12, num_small=0, seed=2,
+    )
+    print(f"database: {len(database)} graphs, {database.total_vertices} vertices total")
+
+    spidermine_result = mine_transaction_top_k(
+        database, min_support=3, k=5, d_max=6, seed=0
+    )
+    origami_result = run_origami(database, min_support=3, num_walks=30, seed=0)
+
+    comparison = SizeDistributionComparison()
+    comparison.add(spidermine_result.result, name="SpiderMine")
+    comparison.add(origami_result, name="ORIGAMI")
+    print()
+    print(comparison.to_text("Pattern-size distribution"))
+    print()
+    print(f"SpiderMine largest |V| = {spidermine_result.result.largest_size_vertices}, "
+          f"ORIGAMI largest |V| = {origami_result.largest_size_vertices}")
+
+
+def main() -> None:
+    single_graph_comparison()
+    transaction_comparison()
+
+
+if __name__ == "__main__":
+    main()

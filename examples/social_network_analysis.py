@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Social-network analysis: collaborative patterns in a DBLP-like co-authorship graph.
+
+Reproduces the qualitative study of Section C.2 / Figures 20, 22 and 23: on a
+co-authorship network whose authors carry seniority labels (Prolific, Senior,
+Junior, Beginner), small patterns are ubiquitous and uninformative, while the
+*large* frequent patterns SpiderMine finds describe the collaboration
+structure of whole research groups — a prolific hub, senior collaborators and
+a periphery of juniors/beginners — and can be used both to find collaborative
+patterns common to different groups and to distinguish groups by their
+discriminative patterns.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import SpiderMine, SpiderMineConfig
+from repro.baselines import run_subdue
+from repro.analysis import SizeDistributionComparison
+from repro.datasets import generate_dblp_like_graph
+
+
+def describe_pattern(pattern) -> str:
+    """Human-readable description of a collaboration pattern's composition."""
+    labels = Counter(pattern.graph.label(v) for v in pattern.graph.vertices())
+    composition = ", ".join(f"{count}×{label}" for label, count in sorted(labels.items()))
+    return (f"|V|={pattern.num_vertices} |E|={pattern.num_edges} "
+            f"support={pattern.support}  composition: {composition}")
+
+
+def main() -> None:
+    # A scaled-down DBLP-like graph (the paper's real graph has 6 508 authors);
+    # the label vocabulary, community structure and planted collaboration
+    # motifs follow the construction described in repro.datasets.dblp.
+    data = generate_dblp_like_graph(
+        num_authors=500,
+        num_communities=25,
+        num_collaboration_patterns=4,
+        pattern_size=10,
+        pattern_support=4,
+        seed=3,
+    )
+    graph = data.graph
+    print(f"co-authorship graph: |V|={graph.num_vertices} |E|={graph.num_edges} "
+          f"labels={sorted(graph.label_set())}")
+    print(f"label distribution: {dict(graph.label_counts())}")
+
+    # The paper mines DBLP with minimum support 4 and K = 20.
+    config = SpiderMineConfig(
+        min_support=4,
+        k=10,
+        d_max=6,
+        epsilon=0.1,
+        radius=1,
+        seed=0,
+        max_spider_size=5,
+    )
+    spidermine_result = SpiderMine(graph, config).mine()
+    subdue_result = run_subdue(graph, num_best=10, max_substructure_edges=10)
+
+    comparison = SizeDistributionComparison()
+    comparison.add(spidermine_result)
+    comparison.add(subdue_result)
+    print()
+    print(comparison.to_text("Figure 20 analogue: pattern sizes, SpiderMine vs SUBDUE"))
+
+    print()
+    print("largest collaborative patterns found by SpiderMine:")
+    for rank, pattern in enumerate(spidermine_result.top(5), start=1):
+        print(f"  #{rank}: {describe_pattern(pattern)}")
+
+    print()
+    print("interpretation: each large pattern is a collective collaboration model —")
+    print("a Prolific hub with Senior co-authors and Junior/Beginner periphery —")
+    print("whose embeddings cluster on specific research groups (Figures 22/23).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Software engineering: mining call-graph backbones from a Jeti-like call graph.
+
+Reproduces the qualitative study of Section C.2 / Figures 21 and 24: the
+paper extracts a static call graph from the Jeti instant-messaging client
+(methods as nodes, classes as labels, calls as edges) and shows that the
+large frequent patterns SpiderMine mines are tight intra-class call clusters
+— "software backbones" useful for program comprehension, design-smell
+detection (cohesion/coupling analysis) and understanding legacy systems.
+
+Run:  python examples/software_backbone.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import SpiderMine, SpiderMineConfig
+from repro.baselines import run_subdue
+from repro.analysis import SizeDistributionComparison
+from repro.datasets import generate_call_graph
+
+
+def class_cohesion_report(pattern) -> str:
+    """Summarise which classes participate in a mined call cluster."""
+    classes = Counter(pattern.graph.label(v) for v in pattern.graph.vertices())
+    dominant = classes.most_common(3)
+    share = sum(count for _, count in dominant) / pattern.num_vertices
+    names = ", ".join(f"{cls} ({count} methods)" for cls, count in dominant)
+    return (f"|V|={pattern.num_vertices} |E|={pattern.num_edges} support={pattern.support} "
+            f"— dominated by {names}; top-3-class share {share:.0%}")
+
+
+def main() -> None:
+    # A synthetic call graph with the structural profile of Jeti (835 methods,
+    # 267 classes, average degree ~2.1, library-class hubs, repeated
+    # intra-class call motifs).  Scaled down by default for a quick run.
+    data = generate_call_graph(
+        num_methods=500,
+        num_classes=150,
+        num_call_motifs=3,
+        motif_size=8,
+        motif_support=10,
+        seed=5,
+    )
+    graph = data.graph
+    print(f"call graph: |V|={graph.num_vertices} |E|={graph.num_edges} "
+          f"classes={len(graph.label_set())} max degree={graph.max_degree()}")
+
+    # The paper mines Jeti with minimum support 10.
+    config = SpiderMineConfig(
+        min_support=10,
+        k=8,
+        d_max=6,
+        epsilon=0.1,
+        radius=1,
+        seed=0,
+    )
+    spidermine_result = SpiderMine(graph, config).mine()
+    subdue_result = run_subdue(graph, num_best=8, max_substructure_edges=10)
+
+    comparison = SizeDistributionComparison()
+    comparison.add(spidermine_result)
+    comparison.add(subdue_result)
+    print()
+    print(comparison.to_text("Figure 21 analogue: pattern sizes, SpiderMine vs SUBDUE"))
+
+    print()
+    print("largest call-cluster patterns (software backbones):")
+    for rank, pattern in enumerate(spidermine_result.top(5), start=1):
+        print(f"  #{rank}: {class_cohesion_report(pattern)}")
+
+    print()
+    print("interpretation: clusters dominated by a small family of classes indicate")
+    print("high cohesion (expected for a class and its subclass, e.g. Calendar and")
+    print("GregorianCalendar in the paper's Figure 24); clusters mixing many unrelated")
+    print("classes point at unwanted coupling — a design smell.")
+
+
+if __name__ == "__main__":
+    main()

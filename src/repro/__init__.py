@@ -1,0 +1,56 @@
+"""SpiderMine reproduction: mining top-K large structural patterns in a massive network.
+
+This package is a from-scratch Python reproduction of
+
+    Feida Zhu, Qiang Qu, David Lo, Xifeng Yan, Jiawei Han, Philip S. Yu.
+    "Mining Top-K Large Structural Patterns in a Massive Network."
+    PVLDB 4(11): 807-818, 2011.
+
+Quickstart
+----------
+>>> from repro import mine_top_k_patterns
+>>> from repro.graph import synthetic_single_graph
+>>> data = synthetic_single_graph(
+...     num_vertices=300, num_labels=50, average_degree=2.0,
+...     num_large_patterns=2, large_pattern_vertices=15, large_pattern_support=2,
+...     num_small_patterns=3, small_pattern_vertices=3, small_pattern_support=2,
+...     seed=7,
+... )
+>>> result = mine_top_k_patterns(data.graph, min_support=2, k=5, d_max=8)
+>>> len(result.patterns) <= 5
+True
+
+Sub-packages
+------------
+``repro.graph``        labeled-graph substrate (graphs, isomorphism, generators)
+``repro.patterns``     patterns, embeddings, support measures, spiders
+``repro.core``         SpiderMine itself
+``repro.baselines``    SUBDUE, SEuS, MoSS, GREW, ORIGAMI, gSpan reimplementations
+``repro.transaction``  graph-transaction setting
+``repro.datasets``     the paper's synthetic datasets + DBLP/Jeti stand-ins
+``repro.analysis``     distributions, reports, experiment harness
+"""
+
+from .core import (
+    MiningResult,
+    MiningStatistics,
+    SpiderMine,
+    SpiderMineConfig,
+    mine_top_k_patterns,
+)
+from .patterns import Pattern, SupportMeasure
+from .graph import LabeledGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MiningResult",
+    "MiningStatistics",
+    "SpiderMine",
+    "SpiderMineConfig",
+    "mine_top_k_patterns",
+    "Pattern",
+    "SupportMeasure",
+    "LabeledGraph",
+    "__version__",
+]

@@ -1,0 +1,98 @@
+"""Pattern-size distributions and their comparison across algorithms.
+
+Figures 4–8, 14–15, 20 and 21 of the paper are histograms of "number of
+patterns of each size" per algorithm.  :class:`SizeDistributionComparison`
+collects the distributions of several mining results on the same dataset and
+renders the same rows the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.results import MiningResult
+
+
+@dataclass
+class SizeDistributionComparison:
+    """size → per-algorithm pattern counts, built from mining results."""
+
+    by: str = "vertices"
+    distributions: Dict[str, Dict[int, int]] = field(default_factory=dict)
+
+    def add(self, result: MiningResult, name: Optional[str] = None) -> None:
+        self.distributions[name or result.algorithm] = result.size_distribution(by=self.by)
+
+    def add_raw(self, name: str, distribution: Dict[int, int]) -> None:
+        self.distributions[name] = dict(distribution)
+
+    @property
+    def algorithms(self) -> List[str]:
+        return list(self.distributions)
+
+    def sizes(self) -> List[int]:
+        """All pattern sizes any algorithm produced, ascending (the x-axis)."""
+        all_sizes = set()
+        for dist in self.distributions.values():
+            all_sizes |= set(dist)
+        return sorted(all_sizes)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per size with each algorithm's count — the figure's data."""
+        rows = []
+        for size in self.sizes():
+            row: Dict[str, object] = {"size": size}
+            for name, dist in self.distributions.items():
+                row[name] = dist.get(size, 0)
+            rows.append(row)
+        return rows
+
+    def largest_size(self, name: str) -> int:
+        dist = self.distributions.get(name, {})
+        return max(dist) if dist else 0
+
+    def count_at_least(self, name: str, size: int) -> int:
+        """How many patterns of ``name`` have size ≥ ``size``."""
+        dist = self.distributions.get(name, {})
+        return sum(count for s, count in dist.items() if s >= size)
+
+    def to_text(self, title: str = "Pattern size distribution") -> str:
+        """A fixed-width text table mirroring the paper's histogram figures."""
+        names = self.algorithms
+        header = ["size"] + names
+        widths = [max(6, len(h) + 2) for h in header]
+        lines = [title, "-" * sum(widths)]
+        lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in self.rows():
+            cells = [str(row["size"])] + [str(row[name]) for name in names]
+            lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+
+def top_sizes(result: MiningResult, k: int, by: str = "vertices") -> List[int]:
+    """The sizes of the top-``k`` largest patterns, descending (Figures 18/19)."""
+    return result.sizes(by=by)[:k]
+
+
+def recovery_rate(
+    result: MiningResult,
+    planted_sizes: Sequence[int],
+    tolerance: int = 0,
+    by: str = "vertices",
+) -> float:
+    """Fraction of planted pattern sizes matched by some reported pattern.
+
+    A planted size counts as recovered when the result contains a pattern
+    whose size is at least ``planted - tolerance`` (interconnections with the
+    background can make recovered patterns *larger* than what was planted, as
+    the paper notes, so only the lower side is tolerated).
+    """
+    if not planted_sizes:
+        return 1.0
+    reported = result.sizes(by=by)
+    recovered = 0
+    for planted in planted_sizes:
+        if any(size >= planted - tolerance for size in reported):
+            recovered += 1
+    return recovered / len(planted_sizes)

@@ -1,0 +1,30 @@
+"""Baseline miners the paper compares SpiderMine against.
+
+Single-graph setting:
+
+* :func:`run_subdue` — SUBDUE, MDL-compression beam search (Holder et al.);
+* :func:`run_seus` — SEuS, summary-graph candidate generation (Ghazizadeh & Chawathe);
+* :func:`run_moss` — MoSS-style complete frequent-subgraph enumeration (Fiedler & Borgelt);
+* :func:`run_grew` — GREW, iterative vertex-disjoint merging (Kuramochi & Karypis).
+
+Graph-transaction setting:
+
+* :func:`run_origami` — ORIGAMI, α-orthogonal β-representative maximal patterns (Hasan et al.);
+* :func:`run_gspan` — gSpan-style complete miner (Yan & Han).
+"""
+
+from .subdue import Subdue, SubdueConfig, run_subdue
+from .seus import Seus, SeusConfig, SummaryGraph, run_seus
+from .moss import Moss, MossConfig, run_moss
+from .grew import Grew, GrewConfig, run_grew
+from .origami import Origami, OrigamiConfig, run_origami
+from .gspan import GSpan, GSpanConfig, run_gspan
+
+__all__ = [
+    "Subdue", "SubdueConfig", "run_subdue",
+    "Seus", "SeusConfig", "SummaryGraph", "run_seus",
+    "Moss", "MossConfig", "run_moss",
+    "Grew", "GrewConfig", "run_grew",
+    "Origami", "OrigamiConfig", "run_origami",
+    "GSpan", "GSpanConfig", "run_gspan",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``spidermine`` / ``python -m repro``.
+
+Sub-commands
+------------
+``mine``      run SpiderMine on a graph file (``.lg`` or ``.json``)
+``generate``  generate one of the paper's synthetic datasets and save it
+``compare``   run SpiderMine and the single-graph baselines on a dataset
+``spiders``   run only Stage I and report the spider statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import RuntimeTable, SizeDistributionComparison
+from .baselines import run_seus, run_subdue
+from .core import SpiderMine, SpiderMineConfig, mine_spiders
+from .datasets import generate_gid
+from .graph import LabeledGraph, io as graph_io
+
+
+def _load_graph(path: str) -> LabeledGraph:
+    p = Path(path)
+    if not p.exists():
+        raise SystemExit(f"error: graph file not found: {path}")
+    if p.suffix == ".json":
+        graphs = graph_io.read_json(p)
+    else:
+        graphs = graph_io.read_lg(p)
+    if not graphs:
+        raise SystemExit(f"error: no graphs found in {path}")
+    if len(graphs) > 1:
+        print(f"note: {path} holds {len(graphs)} graphs; using the first", file=sys.stderr)
+    return graphs[0]
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    config = SpiderMineConfig(
+        min_support=args.support,
+        k=args.k,
+        d_max=args.dmax,
+        epsilon=args.epsilon,
+        radius=args.radius,
+        seed=args.seed,
+    )
+    result = SpiderMine(graph, config).mine()
+    print(result.summary())
+    for index, pattern in enumerate(result.patterns, start=1):
+        print(f"  #{index}: |V|={pattern.num_vertices} |E|={pattern.num_edges} "
+              f"support={pattern.support}")
+    if args.output:
+        graph_io.write_json([p.graph for p in result.patterns], args.output)
+        print(f"patterns written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    data = generate_gid(args.gid, seed=args.seed, scale=args.scale)
+    graph_io.write_lg([data.graph], args.output)
+    planted = {
+        "large_sizes": [p.pattern.num_vertices for p in data.large_patterns],
+        "small_sizes": [p.pattern.num_vertices for p in data.small_patterns],
+    }
+    print(f"GID {args.gid}: |V|={data.graph.num_vertices} |E|={data.graph.num_edges} "
+          f"written to {args.output}")
+    print(json.dumps(planted))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    table = RuntimeTable()
+    comparison = SizeDistributionComparison()
+
+    config = SpiderMineConfig(min_support=args.support, k=args.k, d_max=args.dmax, seed=args.seed)
+    spidermine_result = SpiderMine(graph, config).mine()
+    table.record_result("input", spidermine_result)
+    comparison.add(spidermine_result)
+
+    subdue_result = run_subdue(graph, num_best=args.k)
+    table.record_result("input", subdue_result)
+    comparison.add(subdue_result)
+
+    seus_result = run_seus(graph, min_support=args.support)
+    table.record_result("input", seus_result)
+    comparison.add(seus_result)
+
+    print(comparison.to_text())
+    print()
+    print(table.to_text())
+    return 0
+
+
+def _cmd_spiders(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    spiders = mine_spiders(
+        graph, min_support=args.support, radius=args.radius, max_spider_size=args.max_size
+    )
+    print(f"{len(spiders)} frequent {args.radius}-spiders "
+          f"(min_support={args.support}, max_size={args.max_size})")
+    sizes = {}
+    for spider in spiders:
+        sizes[spider.num_vertices] = sizes.get(spider.num_vertices, 0) + 1
+    for size in sorted(sizes):
+        print(f"  |V|={size}: {sizes[size]} spiders")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spidermine",
+        description="SpiderMine reproduction: top-K large structural pattern mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="run SpiderMine on a graph file")
+    mine.add_argument("graph", help="input graph (.lg or .json)")
+    mine.add_argument("--support", type=int, default=2, help="support threshold σ")
+    mine.add_argument("-k", type=int, default=10, help="number of patterns to return")
+    mine.add_argument("--dmax", type=int, default=6, help="pattern diameter bound Dmax")
+    mine.add_argument("--epsilon", type=float, default=0.1, help="error bound ε")
+    mine.add_argument("--radius", type=int, default=1, help="spider radius r")
+    mine.add_argument("--seed", type=int, default=0, help="random seed")
+    mine.add_argument("--output", help="write mined pattern graphs to this JSON file")
+    mine.set_defaults(func=_cmd_mine)
+
+    generate = sub.add_parser("generate", help="generate a synthetic dataset (GID 1-10)")
+    generate.add_argument("gid", type=int, help="dataset id from Table 1 / Table 3")
+    generate.add_argument("output", help="output .lg path")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--scale", type=float, default=1.0,
+                          help="scale factor in (0,1] applied to |V| and pattern sizes")
+    generate.set_defaults(func=_cmd_generate)
+
+    compare = sub.add_parser("compare", help="compare SpiderMine with SUBDUE and SEuS")
+    compare.add_argument("graph", help="input graph (.lg or .json)")
+    compare.add_argument("--support", type=int, default=2)
+    compare.add_argument("-k", type=int, default=10)
+    compare.add_argument("--dmax", type=int, default=6)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    spiders = sub.add_parser("spiders", help="run Stage I only and report spider statistics")
+    spiders.add_argument("graph", help="input graph (.lg or .json)")
+    spiders.add_argument("--support", type=int, default=2)
+    spiders.add_argument("--radius", type=int, default=1)
+    spiders.add_argument("--max-size", type=int, default=6, dest="max_size")
+    spiders.set_defaults(func=_cmd_spiders)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""The probabilistic seeding analysis of SpiderMine (Lemma 2 / Theorem 1).
+
+The paper draws ``M`` seed spiders uniformly at random.  A pattern ``P`` is
+*hit* by one draw with probability at least ``|V(P)| / |V(G)|`` and is
+*successfully identified* when at least two of its spiders are drawn (the two
+then provably merge within ``Dmax / 2r`` growth iterations — Lemma 1).  The
+probability that all top-K patterns are identified is bounded below by
+
+    P_success ≥ (1 − (M + 1) · (1 − Vmin / |V(G)|)^M)^K
+
+and ``M`` is chosen as the smallest integer for which this bound reaches
+``1 − ε``.  The worked example in the paper (ε = 0.1, K = 10,
+Vmin = |V(G)|/10) gives M = 85, which the unit tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+def hit_probability(pattern_vertices: int, graph_vertices: int) -> float:
+    """Lower bound on the probability that one random spider draw hits the pattern."""
+    if graph_vertices <= 0:
+        raise ValueError("graph_vertices must be positive")
+    if pattern_vertices < 0:
+        raise ValueError("pattern_vertices must be non-negative")
+    return min(1.0, pattern_vertices / graph_vertices)
+
+
+def failure_probability(hit: float, num_draws: int) -> float:
+    """Upper bound on the probability that at most one draw hits the pattern.
+
+    This is the paper's ``P_fail(P) ≤ (M + 1)(1 − P_hit)^M`` bound (valid for
+    ``P_hit ≤ 1/2``; for larger hit probabilities the exact binomial tail is
+    even smaller, so we return the exact expression capped by the bound).
+    """
+    if not 0.0 <= hit <= 1.0:
+        raise ValueError("hit probability must lie in [0, 1]")
+    if num_draws < 0:
+        raise ValueError("num_draws must be non-negative")
+    if num_draws == 0:
+        return 1.0
+    exact = (1.0 - hit) ** num_draws + num_draws * hit * (1.0 - hit) ** (num_draws - 1)
+    bound = (num_draws + 1) * (1.0 - hit) ** num_draws
+    return min(1.0, max(exact, 0.0) if hit > 0.5 else max(bound, 0.0))
+
+
+def success_probability(
+    num_draws: int,
+    k: int,
+    v_min: int,
+    graph_vertices: int,
+) -> float:
+    """Lower bound on P[all top-K patterns identified] for a draw of ``num_draws`` spiders."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    hit = hit_probability(v_min, graph_vertices)
+    fail = failure_probability(hit, num_draws)
+    per_pattern = max(0.0, 1.0 - fail)
+    return per_pattern ** k
+
+
+def compute_seed_count(
+    k: int,
+    epsilon: float,
+    v_min: int,
+    graph_vertices: int,
+    max_seed_count: Optional[int] = None,
+) -> int:
+    """The smallest ``M`` with ``success_probability(M) ≥ 1 − ε``.
+
+    Found by doubling then binary search; monotonicity of the bound in ``M``
+    holds for every ``M ≥ 1/hit`` and the search only relies on the final
+    check, so the returned ``M`` always satisfies the bound (or equals the cap
+    when one is supplied and the bound is unreachable under it).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must lie strictly between 0 and 1")
+    if v_min < 1 or graph_vertices < 1:
+        raise ValueError("v_min and graph_vertices must be positive")
+    target = 1.0 - epsilon
+    hit = hit_probability(v_min, graph_vertices)
+    if hit >= 1.0:
+        return max(2, 2 if max_seed_count is None else min(2, max_seed_count))
+
+    # Exponential search for an upper bracket.
+    upper = 2
+    while success_probability(upper, k, v_min, graph_vertices) < target:
+        upper *= 2
+        if upper > 10_000_000:
+            break
+    lower = max(2, upper // 2)
+    # The bound is not perfectly monotone for tiny M, so anchor the lower end at 2.
+    lo, hi = 2, upper
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if success_probability(mid, k, v_min, graph_vertices) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    result = lo
+    if max_seed_count is not None:
+        result = min(result, max_seed_count)
+    return max(2, result)
+
+
+@dataclass(frozen=True)
+class SeedPlan:
+    """The resolved randomized-seeding plan for one SpiderMine run."""
+
+    num_draws: int
+    v_min: int
+    graph_vertices: int
+    k: int
+    epsilon: float
+
+    @property
+    def guaranteed_success(self) -> float:
+        """The success lower bound actually achieved by ``num_draws``."""
+        return success_probability(self.num_draws, self.k, self.v_min, self.graph_vertices)
+
+
+def plan_seeds(
+    k: int,
+    epsilon: float,
+    v_min: int,
+    graph_vertices: int,
+    max_seed_count: Optional[int] = None,
+) -> SeedPlan:
+    """Compute the full seeding plan (``M`` plus the achieved guarantee)."""
+    m = compute_seed_count(k, epsilon, v_min, graph_vertices, max_seed_count=max_seed_count)
+    return SeedPlan(num_draws=m, v_min=v_min, graph_vertices=graph_vertices, k=k, epsilon=epsilon)

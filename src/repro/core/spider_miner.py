@@ -1,0 +1,274 @@
+"""Stage I of SpiderMine: mine all frequent r-spiders.
+
+A level-wise pattern-growth search anchored at the spider head.  Level 0 is
+the set of frequent single-vertex patterns (one per frequent label); each
+level extends every spider either *forward* (a new edge from a pattern vertex
+at depth < r to a fresh vertex) or by *closing* an edge between two existing
+pattern vertices.  Both operations keep the pattern r-bounded from the head,
+so by construction every generated pattern is an r-spider (Definition 4) and
+— because the search is exhaustive up to ``max_spider_size`` vertices — Stage
+I "knows all the frequent patterns up to a diameter 2r with all their
+embeddings", as the paper requires.
+
+Candidates are deduplicated with head-distinguished canonical codes; support
+is computed with the configured single-graph measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..patterns.embedding import Embedding
+from ..patterns.spider import Spider, head_distinguished_code
+from ..patterns.support import SupportMeasure, compute_support
+from .config import SpiderMineConfig
+
+_HEAD = 0  # the head is always pattern vertex 0
+
+
+@dataclass
+class _Candidate:
+    """A spider candidate under construction (graph + anchored embeddings)."""
+
+    graph: LabeledGraph
+    depth: Dict[int, int]                       # pattern vertex -> distance from head
+    embeddings: List[Dict[int, Vertex]]         # pattern vertex -> data vertex
+
+
+class SpiderMiner:
+    """Mines all frequent r-spiders of a single data graph."""
+
+    def __init__(self, graph: LabeledGraph, config: Optional[SpiderMineConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or SpiderMineConfig()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def mine(self) -> List[Spider]:
+        """All frequent r-spiders, each with its (possibly capped) embedding list."""
+        config = self.config
+        frontier = self._initial_candidates()
+        results: Dict[str, Spider] = {}
+        for candidate in frontier:
+            if len(results) >= config.max_spiders:
+                break
+            spider = self._to_spider(candidate)
+            if spider is not None:
+                results[spider.spider_code()] = spider
+
+        while frontier and len(results) < config.max_spiders:
+            next_by_code: Dict[str, _Candidate] = {}
+            for candidate in frontier:
+                at_size_cap = candidate.graph.num_vertices >= config.max_spider_size
+                # At the vertex cap, closing edges (which add no vertex) are
+                # still allowed so cyclic spiders like triangles are not lost.
+                extensions = (
+                    self._closing_extensions(candidate)
+                    if at_size_cap
+                    else self._extensions(candidate)
+                )
+                for extended in extensions:
+                    code = head_distinguished_code(extended.graph, _HEAD)
+                    if code in results:
+                        continue
+                    existing = next_by_code.get(code)
+                    if existing is None:
+                        next_by_code[code] = extended
+                    else:
+                        self._merge_embeddings(existing, extended)
+            frontier = []
+            for code, candidate in next_by_code.items():
+                spider = self._to_spider(candidate)
+                if spider is None:
+                    continue
+                results[code] = spider
+                frontier.append(candidate)
+                if len(results) >= config.max_spiders:
+                    break
+        return list(results.values())
+
+    # ------------------------------------------------------------------ #
+    # level 0
+    # ------------------------------------------------------------------ #
+    def _initial_candidates(self) -> List[_Candidate]:
+        config = self.config
+        candidates: List[_Candidate] = []
+        for label in sorted(self.graph.label_set(), key=repr):
+            vertices = sorted(self.graph.vertices_with_label(label), key=repr)
+            if len(vertices) < config.min_support:
+                continue
+            pattern = LabeledGraph()
+            pattern.add_vertex(_HEAD, label)
+            embeddings = [{_HEAD: v} for v in vertices]
+            candidates.append(
+                _Candidate(graph=pattern, depth={_HEAD: 0}, embeddings=self._cap(embeddings))
+            )
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # extension generation
+    # ------------------------------------------------------------------ #
+    def _extensions(self, candidate: _Candidate) -> List[_Candidate]:
+        """All frequent one-step extensions of ``candidate``."""
+        forward = self._forward_extensions(candidate)
+        closing = self._closing_extensions(candidate)
+        return forward + closing
+
+    def _forward_extensions(self, candidate: _Candidate) -> List[_Candidate]:
+        config = self.config
+        radius = config.radius
+        # descriptor: (attach vertex, new label) -> list of extended embeddings
+        grouped: Dict[Tuple[int, object], List[Dict[int, Vertex]]] = {}
+        attach_points = [v for v, d in candidate.depth.items() if d < radius]
+        for mapping in candidate.embeddings:
+            used = set(mapping.values())
+            for p_vertex in attach_points:
+                g_vertex = mapping[p_vertex]
+                for neighbor in self.graph.neighbors(g_vertex):
+                    if neighbor in used:
+                        continue
+                    key = (p_vertex, self.graph.label(neighbor))
+                    new_mapping = dict(mapping)
+                    new_mapping[max(candidate.graph.vertices()) + 1] = neighbor
+                    grouped.setdefault(key, []).append(new_mapping)
+
+        extensions: List[_Candidate] = []
+        new_vertex = max(candidate.graph.vertices()) + 1
+        for (p_vertex, label), mappings in grouped.items():
+            if len(mappings) < config.min_support:
+                continue
+            graph = candidate.graph.copy()
+            graph.add_vertex(new_vertex, label)
+            graph.add_edge(p_vertex, new_vertex)
+            depth = dict(candidate.depth)
+            depth[new_vertex] = depth[p_vertex] + 1
+            extensions.append(
+                _Candidate(graph=graph, depth=depth, embeddings=self._dedupe(mappings))
+            )
+        return extensions
+
+    def _closing_extensions(self, candidate: _Candidate) -> List[_Candidate]:
+        config = self.config
+        vertices = sorted(candidate.graph.vertices())
+        if len(vertices) < 3:
+            return []
+        grouped: Dict[Tuple[int, int], List[Dict[int, Vertex]]] = {}
+        non_edges = [
+            (u, v)
+            for i, u in enumerate(vertices)
+            for v in vertices[i + 1:]
+            if not candidate.graph.has_edge(u, v)
+        ]
+        if not non_edges:
+            return []
+        for mapping in candidate.embeddings:
+            for u, v in non_edges:
+                if self.graph.has_edge(mapping[u], mapping[v]):
+                    grouped.setdefault((u, v), []).append(dict(mapping))
+        extensions: List[_Candidate] = []
+        for (u, v), mappings in grouped.items():
+            if len(mappings) < config.min_support:
+                continue
+            graph = candidate.graph.copy()
+            graph.add_edge(u, v)
+            depth = dict(candidate.depth)
+            extensions.append(
+                _Candidate(graph=graph, depth=depth, embeddings=self._dedupe(mappings))
+            )
+        return extensions
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping helpers
+    # ------------------------------------------------------------------ #
+    def _dedupe(self, mappings: List[Dict[int, Vertex]]) -> List[Dict[int, Vertex]]:
+        """Keep one mapping per (head image, vertex image set), capped."""
+        seen: Set[Tuple[Vertex, FrozenSet[Vertex]]] = set()
+        unique: List[Dict[int, Vertex]] = []
+        for mapping in mappings:
+            key = (mapping[_HEAD], frozenset(mapping.values()))
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(mapping)
+        return self._cap(unique)
+
+    def _cap(self, mappings: List[Dict[int, Vertex]]) -> List[Dict[int, Vertex]]:
+        cap = self.config.max_embeddings_per_pattern
+        if len(mappings) <= cap:
+            return mappings
+        return mappings[:cap]
+
+    def _merge_embeddings(self, target: _Candidate, extra: _Candidate) -> None:
+        """Union the embedding lists of two candidates for the same spider code.
+
+        Candidates reached through different growth orders can name their
+        pattern vertices differently even though the codes agree, so the extra
+        embeddings are realigned through one head-preserving isomorphism
+        before being unioned.
+        """
+        from ..graph.isomorphism import SubgraphMatcher
+
+        if extra.graph == target.graph:
+            rename = {v: v for v in extra.graph.vertices()}
+        else:
+            matcher = SubgraphMatcher(extra.graph, target.graph, induced=True)
+            found = matcher.find_embeddings(limit=1, anchor=(_HEAD, _HEAD))
+            if not found:
+                return
+            rename = found[0]
+        seen = {(m[_HEAD], frozenset(m.values())) for m in target.embeddings}
+        for mapping in extra.embeddings:
+            remapped = {rename[p]: g for p, g in mapping.items()}
+            key = (remapped[_HEAD], frozenset(remapped.values()))
+            if key not in seen and len(target.embeddings) < self.config.max_embeddings_per_pattern:
+                target.embeddings.append(remapped)
+                seen.add(key)
+
+    def _to_spider(self, candidate: _Candidate) -> Optional[Spider]:
+        """Build a :class:`Spider` if the candidate is frequent, else ``None``."""
+        embeddings = [Embedding.from_dict(m) for m in candidate.embeddings]
+        spider = Spider(
+            graph=candidate.graph.copy(),
+            embeddings=embeddings,
+            head=_HEAD,
+            radius=self.config.radius,
+        )
+        support = compute_support(spider, measure=self.config.support_measure)
+        if support < self.config.min_support:
+            return None
+        return spider
+
+
+def mine_spiders(
+    graph: LabeledGraph,
+    min_support: int,
+    radius: int = 1,
+    max_spider_size: int = 6,
+    support_measure: SupportMeasure = SupportMeasure.HARMFUL_OVERLAP,
+    max_spiders: int = 20000,
+    max_embeddings_per_pattern: int = 400,
+) -> List[Spider]:
+    """Convenience wrapper around :class:`SpiderMiner` (the paper's ``InitSpider``)."""
+    config = SpiderMineConfig(
+        min_support=min_support,
+        radius=radius,
+        max_spider_size=max_spider_size,
+        support_measure=support_measure,
+        max_spiders=max_spiders,
+        max_embeddings_per_pattern=max_embeddings_per_pattern,
+    )
+    return SpiderMiner(graph, config).mine()
+
+
+def build_spider_index(spiders: List[Spider]) -> Dict[Vertex, List[Tuple[Spider, Embedding]]]:
+    """``Spider(v)`` from the paper: data vertex → spiders with an embedding headed there."""
+    index: Dict[Vertex, List[Tuple[Spider, Embedding]]] = {}
+    for spider in spiders:
+        for embedding in spider.embeddings:
+            head_image = dict(embedding.mapping)[spider.head]
+            index.setdefault(head_image, []).append((spider, embedding))
+    return index

@@ -1,0 +1,192 @@
+"""The SpiderMine algorithm (Algorithm 1 of the paper).
+
+Three stages:
+
+* **Stage I — Mining Spiders.**  Mine every frequent r-spider of the input
+  graph (``repro.core.spider_miner``).  After this stage all frequent
+  patterns of diameter ≤ 2r and all their embeddings are known.
+* **Stage II — Large Pattern Identification.**  Draw ``M`` seed spiders
+  uniformly at random, where ``M`` is computed from ``K``, ``ε`` and ``Vmin``
+  by Lemma 2 (``repro.core.probability``).  Grow each seed for
+  ``Dmax / 2r`` iterations with ``SpiderGrow``; merge patterns whose
+  embeddings start to overlap (``CheckMerge``).  Keep only patterns that
+  participated in a merge — with probability ≥ 1 − ε these contain a portion
+  of every top-K large pattern.
+* **Stage III — Large Pattern Recovery.**  Keep growing the retained patterns
+  until no new frequent pattern appears, then report the top-K largest
+  patterns whose diameter is within ``Dmax``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.algorithms import diameter as graph_diameter
+from ..graph.labeled_graph import LabeledGraph
+from ..patterns.pattern import Pattern
+from ..patterns.spider import Spider
+from .config import SpiderMineConfig
+from .growth import CandidateEntry, GrowthEngine, occurrence_support, occurrences_to_pattern
+from .probability import SeedPlan, plan_seeds
+from .results import MiningResult, MiningStatistics, stage_timer
+from .spider_miner import SpiderMiner, build_spider_index
+
+
+class SpiderMine:
+    """Top-K largest frequent pattern miner for a single labeled graph."""
+
+    def __init__(self, graph: LabeledGraph, config: Optional[SpiderMineConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or SpiderMineConfig()
+        self._rng = random.Random(self.config.seed)
+        self.spiders: List[Spider] = []
+        self.seed_plan: Optional[SeedPlan] = None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def mine(self) -> MiningResult:
+        """Run all three stages and return the top-K largest patterns."""
+        config = self.config
+        statistics = MiningStatistics()
+        start = time.perf_counter()
+
+        # Stage I ---------------------------------------------------------
+        with stage_timer(statistics, "stage1_spiders"):
+            self.spiders = SpiderMiner(self.graph, config).mine()
+        statistics.num_spiders = len(self.spiders)
+        spider_index = build_spider_index(self.spiders)
+        engine = GrowthEngine(self.graph, spider_index, config)
+
+        # Stage II --------------------------------------------------------
+        with stage_timer(statistics, "stage2_identification"):
+            seeds = self._draw_seeds()
+            statistics.num_seeds = len(seeds)
+            entries = engine.seed_entries(seeds)
+            for _ in range(config.growth_iterations):
+                if not entries:
+                    break
+                entries = engine.grow(entries, merge_enabled=True)
+                statistics.num_growth_iterations += 1
+            merged_entries = {code: e for code, e in entries.items() if e.merged}
+            if not merged_entries and config.keep_unmerged_if_empty:
+                merged_entries = entries
+        statistics.num_merges = engine.merge_events
+
+        # Stage III -------------------------------------------------------
+        archive: Dict[str, CandidateEntry] = dict(merged_entries)
+        with stage_timer(statistics, "stage3_recovery"):
+            entries = merged_entries
+            for _ in range(config.max_growth_iterations):
+                if not entries:
+                    break
+                next_entries = engine.grow(entries, merge_enabled=True)
+                statistics.num_growth_iterations += 1
+                new_codes = set(next_entries) - set(archive)
+                for code in set(next_entries):
+                    existing = archive.get(code)
+                    if existing is None:
+                        archive[code] = next_entries[code]
+                    else:
+                        existing.occurrences = engine._dedupe(
+                            existing.occurrences + next_entries[code].occurrences
+                        )
+                if not new_codes:
+                    break
+                entries = next_entries
+        statistics.num_candidates_generated = engine.candidates_generated
+
+        patterns = self._report(archive)
+        runtime = time.perf_counter() - start
+        return MiningResult(
+            algorithm="SpiderMine",
+            patterns=patterns,
+            runtime_seconds=runtime,
+            statistics=statistics,
+            parameters={
+                "min_support": config.min_support,
+                "k": config.k,
+                "epsilon": config.epsilon,
+                "d_max": config.d_max,
+                "radius": config.radius,
+                "support_measure": config.support_measure.value,
+                "num_seeds": statistics.num_seeds,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # stage II helpers
+    # ------------------------------------------------------------------ #
+    def _draw_seeds(self) -> List[Spider]:
+        """RandomSeed: draw M spiders uniformly at random from the Stage-I set."""
+        config = self.config
+        if not self.spiders:
+            return []
+        v_min = config.resolved_v_min(self.graph.num_vertices)
+        self.seed_plan = plan_seeds(
+            k=config.k,
+            epsilon=config.epsilon,
+            v_min=v_min,
+            graph_vertices=max(1, self.graph.num_vertices),
+            max_seed_count=config.max_seed_count,
+        )
+        m = self.seed_plan.num_draws
+        if m >= len(self.spiders):
+            return list(self.spiders)
+        return self._rng.sample(self.spiders, m)
+
+    # ------------------------------------------------------------------ #
+    # stage III reporting
+    # ------------------------------------------------------------------ #
+    def _report(self, archive: Dict[str, CandidateEntry]) -> List[Pattern]:
+        """Convert surviving candidates to Pattern objects and keep the top-K."""
+        config = self.config
+        candidates: List[Pattern] = []
+        for entry in archive.values():
+            support = occurrence_support(entry.occurrences, config.support_measure)
+            if support < config.min_support:
+                continue
+            pattern = occurrences_to_pattern(self.graph, entry.occurrences)
+            if pattern.num_vertices < config.min_vertices_reported:
+                continue
+            if graph_diameter(pattern.graph) > config.d_max:
+                continue
+            candidates.append(pattern)
+        candidates.sort(key=lambda p: (p.num_vertices, p.num_edges, p.code), reverse=True)
+        return candidates[: config.k]
+
+
+def mine_top_k_patterns(
+    graph: LabeledGraph,
+    min_support: int,
+    k: int = 10,
+    d_max: int = 4,
+    epsilon: float = 0.1,
+    radius: int = 1,
+    v_min: Optional[int] = None,
+    seed: Optional[int] = 0,
+    **overrides,
+) -> MiningResult:
+    """One-call convenience API: run SpiderMine with the paper's parameters.
+
+    Example
+    -------
+    >>> from repro.graph import synthetic_single_graph
+    >>> data = synthetic_single_graph(200, 40, 2.0, 2, 12, 2, 2, 3, 2, seed=1)
+    >>> result = mine_top_k_patterns(data.graph, min_support=2, k=5, d_max=6)
+    >>> result.largest_size_vertices >= 5
+    True
+    """
+    config = SpiderMineConfig(
+        min_support=min_support,
+        k=k,
+        d_max=d_max,
+        epsilon=epsilon,
+        radius=radius,
+        v_min=v_min,
+        seed=seed,
+        **overrides,
+    )
+    return SpiderMine(graph, config).mine()

@@ -1,0 +1,40 @@
+"""Datasets: the paper's synthetic settings plus DBLP-like and Jeti-like stand-ins."""
+
+from .synthetic import (
+    DataSetting,
+    GID_DIFFERENCES,
+    GID_SETTINGS,
+    GID_6_10_SETTINGS,
+    generate_gid,
+    scalability_series,
+    transaction_database,
+)
+from .dblp import (
+    BEGINNER,
+    DBLP_LABELS,
+    DblpLikeGraph,
+    JUNIOR,
+    PROLIFIC,
+    SENIOR,
+    generate_dblp_like_graph,
+)
+from .jeti import JetiLikeGraph, generate_call_graph
+
+__all__ = [
+    "DataSetting",
+    "GID_DIFFERENCES",
+    "GID_SETTINGS",
+    "GID_6_10_SETTINGS",
+    "generate_gid",
+    "scalability_series",
+    "transaction_database",
+    "BEGINNER",
+    "DBLP_LABELS",
+    "DblpLikeGraph",
+    "JUNIOR",
+    "PROLIFIC",
+    "SENIOR",
+    "generate_dblp_like_graph",
+    "JetiLikeGraph",
+    "generate_call_graph",
+]

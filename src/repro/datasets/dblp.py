@@ -1,0 +1,149 @@
+"""Synthetic DBLP-like co-authorship network (stand-in for the paper's real data).
+
+The paper builds a co-author relationship graph for the Database & Data
+Mining community: 6 508 authors, 24 402 edges, and four seniority labels —
+"Prolific" (≥ 50 papers), "Senior" (20–49), "Junior" (10–19) and "Beginner"
+(5–9) — with an edge when two authors co-author a significant fraction of
+their papers.  The real DBLP snapshot is not redistributable, so this module
+generates a synthetic graph that preserves the properties the experiment
+actually exercises:
+
+* the four-label vocabulary with a pyramid-shaped label distribution (few
+  prolific authors, many beginners);
+* research-group community structure: authors cluster around prolific hubs,
+  giving sparse global connectivity but dense local collaboration;
+* repeated collaborative motifs: a number of group-shaped patterns (a
+  prolific author surrounded by seniors/juniors/beginners) are injected
+  several times each, which is what SpiderMine's large-pattern mining is
+  shown to recover (Figures 20, 22, 23).
+
+Sizes default to a scaled-down graph; pass ``num_authors=6508`` to match the
+paper's scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.generators import InjectedPattern, inject_pattern, random_connected_pattern
+from ..graph.labeled_graph import LabeledGraph
+
+#: The paper's seniority labels.
+PROLIFIC = "P"
+SENIOR = "S"
+JUNIOR = "J"
+BEGINNER = "B"
+DBLP_LABELS = (PROLIFIC, SENIOR, JUNIOR, BEGINNER)
+
+#: Approximate share of each label in the paper's 6 762-author subset.
+DEFAULT_LABEL_SHARES = {PROLIFIC: 0.04, SENIOR: 0.12, JUNIOR: 0.28, BEGINNER: 0.56}
+
+
+@dataclass
+class DblpLikeGraph:
+    """The generated co-authorship graph plus the injected collaboration motifs."""
+
+    graph: LabeledGraph
+    collaboration_patterns: List[InjectedPattern] = field(default_factory=list)
+
+    @property
+    def num_authors(self) -> int:
+        return self.graph.num_vertices
+
+
+def _collaboration_motif(size: int, rng: random.Random) -> LabeledGraph:
+    """A research-group motif: a prolific hub, senior lieutenants, junior/beginner leaves."""
+    motif = LabeledGraph()
+    motif.add_vertex(0, PROLIFIC)
+    seniors = max(1, size // 4)
+    for i in range(1, 1 + seniors):
+        motif.add_vertex(i, SENIOR)
+        motif.add_edge(0, i)
+    next_id = 1 + seniors
+    while next_id < size:
+        label = JUNIOR if rng.random() < 0.5 else BEGINNER
+        motif.add_vertex(next_id, label)
+        # Attach to the hub or to a senior, occasionally to another leaf.
+        anchor = rng.choice([0] + list(range(1, 1 + seniors)))
+        motif.add_edge(next_id, anchor)
+        if next_id > 1 + seniors and rng.random() < 0.35:
+            other = rng.randrange(1, next_id)
+            if not motif.has_edge(next_id, other):
+                motif.add_edge(next_id, other)
+        next_id += 1
+    return motif
+
+
+def generate_dblp_like_graph(
+    num_authors: int = 1200,
+    average_degree: float = 3.7,
+    num_communities: int = 40,
+    num_collaboration_patterns: int = 6,
+    pattern_size: int = 14,
+    pattern_support: int = 4,
+    label_shares: Optional[Dict[str, float]] = None,
+    seed: Optional[int] = 0,
+) -> DblpLikeGraph:
+    """Generate the synthetic co-authorship network.
+
+    Parameters mirror the structural knobs of the real data: the paper's graph
+    has 6 508 vertices, 24 402 edges (average degree ≈ 7.5 within communities,
+    ≈ 3.7 overall after thresholding), four labels, and the mined patterns of
+    interest have ~10–25 vertices with support ≥ 4.
+    """
+    rng = random.Random(seed)
+    shares = dict(label_shares or DEFAULT_LABEL_SHARES)
+    total_share = sum(shares.values())
+    labels = list(shares)
+    weights = [shares[l] / total_share for l in labels]
+
+    graph = LabeledGraph()
+    for author in range(num_authors):
+        graph.add_vertex(author, rng.choices(labels, weights=weights)[0])
+
+    # Community structure: authors are partitioned into groups; most edges are
+    # intra-community (collaborations inside a research group), a few are
+    # inter-community (cross-group collaborations).
+    community_of = {author: rng.randrange(num_communities) for author in graph.vertices()}
+    members: Dict[int, List[int]] = {}
+    for author, community in community_of.items():
+        members.setdefault(community, []).append(author)
+
+    target_edges = int(num_authors * average_degree / 2)
+    attempts = 0
+    while graph.num_edges < target_edges and attempts < 60 * target_edges:
+        attempts += 1
+        if rng.random() < 0.85:
+            community = rng.randrange(num_communities)
+            pool = members.get(community, [])
+            if len(pool) < 2:
+                continue
+            u, v = rng.sample(pool, 2)
+        else:
+            u = rng.randrange(num_authors)
+            v = rng.randrange(num_authors)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+
+    # Injected copies claim disjoint author sets; keep the total claim within
+    # ~60% of the graph so small instances remain generatable (the motif count
+    # is reduced, never the motif itself, when the request does not fit).
+    budget = int(0.6 * num_authors)
+    per_motif = pattern_size * pattern_support
+    num_motifs = max(1, min(num_collaboration_patterns, budget // max(1, per_motif)))
+    support = pattern_support
+    while support > 2 and num_motifs * pattern_size * support > budget:
+        support -= 1
+
+    records: List[InjectedPattern] = []
+    reserved: set = set()
+    for _ in range(num_motifs):
+        motif = _collaboration_motif(pattern_size, rng)
+        records.append(
+            inject_pattern(graph, motif, copies=support,
+                           seed=rng.randrange(10**9), reserved=reserved)
+        )
+    return DblpLikeGraph(graph=graph, collaboration_patterns=records)

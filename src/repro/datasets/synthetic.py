@@ -1,0 +1,221 @@
+"""The paper's synthetic datasets (Tables 1, 2 and 3 plus the scalability series).
+
+Every experiment in Section 5 / Appendix C.1 is driven by synthetic single
+graphs built with the recipe of :func:`repro.graph.synthetic_single_graph`:
+an Erdős–Rényi or Barabási–Albert background with injected large and small
+patterns.  This module pins the exact parameter rows of the paper's tables
+(``GID_SETTINGS`` = Table 1, ``GID_6_10_SETTINGS`` = Table 3) and offers a
+``scale`` knob: at ``scale=1.0`` the graphs match the paper's sizes, while
+the benchmark defaults use smaller scales so a pure-Python run finishes in
+seconds (see EXPERIMENTS.md for the scales actually used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.generators import SyntheticSingleGraph, synthetic_single_graph
+from ..graph.labeled_graph import LabeledGraph
+from ..transaction.database import GraphDatabase
+from ..graph.generators import (
+    erdos_renyi_graph,
+    inject_pattern,
+    label_alphabet,
+    random_connected_pattern,
+)
+
+
+@dataclass(frozen=True)
+class DataSetting:
+    """One row of Table 1 / Table 3: the parameters of a synthetic single graph."""
+
+    gid: int
+    num_vertices: int
+    num_labels: int
+    average_degree: float
+    num_large: int
+    large_vertices: int
+    large_support: int
+    num_small: int
+    small_vertices: int
+    small_support: int
+
+    def generate(
+        self,
+        seed: Optional[int] = None,
+        scale: float = 1.0,
+        model: str = "erdos_renyi",
+        max_pattern_diameter: Optional[int] = 4,
+    ) -> SyntheticSingleGraph:
+        """Build the dataset, optionally scaled down by ``scale`` ∈ (0, 1]."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must lie in (0, 1]")
+        num_vertices = max(40, int(round(self.num_vertices * scale)))
+        num_labels = max(5, int(round(self.num_labels * scale)) if scale < 1.0 else self.num_labels)
+        large_vertices = max(6, int(round(self.large_vertices * (scale ** 0.5))))
+        small_vertices = self.small_vertices
+        num_large = self.num_large if scale == 1.0 else max(2, int(round(self.num_large * scale)))
+        num_small = self.num_small if scale == 1.0 else max(1, int(round(self.num_small * scale)))
+        large_support = self.large_support
+        small_support = self.small_support if scale == 1.0 else max(
+            2, int(round(self.small_support * scale))
+        )
+        if scale < 1.0:
+            # Keep the injected material from saturating a scaled-down background:
+            # the injected large-pattern vertices should not exceed ~half the graph.
+            budget = num_vertices // 2
+            while num_large > 2 and num_large * large_vertices * large_support > budget:
+                num_large -= 1
+            while large_vertices > 6 and num_large * large_vertices * large_support > budget:
+                large_vertices -= 1
+            while large_support > 2 and num_large * large_vertices * large_support > budget:
+                large_support -= 1
+            while small_support > 2 and num_small * small_vertices * small_support > num_vertices // 4:
+                small_support -= 1
+        return synthetic_single_graph(
+            num_vertices=num_vertices,
+            num_labels=num_labels,
+            average_degree=self.average_degree,
+            num_large_patterns=num_large,
+            large_pattern_vertices=large_vertices,
+            large_pattern_support=large_support,
+            num_small_patterns=num_small,
+            small_pattern_vertices=small_vertices,
+            small_pattern_support=small_support,
+            seed=seed if seed is not None else self.gid,
+            model=model,
+            max_pattern_diameter=max_pattern_diameter,
+        )
+
+
+#: Table 1 — data settings GID 1–5 (single-graph, Erdős–Rényi background).
+GID_SETTINGS: Dict[int, DataSetting] = {
+    1: DataSetting(1, 400, 70, 2, 5, 30, 2, 5, 3, 2),
+    2: DataSetting(2, 400, 70, 4, 5, 30, 2, 5, 3, 2),
+    3: DataSetting(3, 1000, 250, 2, 5, 30, 2, 5, 3, 20),
+    4: DataSetting(4, 1000, 250, 4, 5, 30, 2, 5, 3, 20),
+    5: DataSetting(5, 600, 130, 4, 5, 30, 2, 20, 3, 2),
+}
+
+#: Table 2 — the qualitative differences between the GID 1–5 settings.
+GID_DIFFERENCES: Dict[Tuple[int, int], str] = {
+    (2, 1): "GID 2 doubles the average degree",
+    (3, 1): "GID 3 increases the support of small patterns",
+    (4, 3): "GID 4 doubles the average degree",
+    (5, 2): "GID 5 increases the number of small patterns",
+}
+
+#: Table 3 — data settings GID 6–10 (growing share of small patterns).
+#: The paper's sizes (|V| from 20 490 to 56 740) are kept here verbatim; the
+#: robustness benchmark scales them down via ``DataSetting.generate(scale=...)``.
+GID_6_10_SETTINGS: Dict[int, DataSetting] = {
+    6: DataSetting(6, 20490, 1064, 3.05, 5, 50, 12, 50, 5, 10),
+    7: DataSetting(7, 31110, 1658, 3.05, 5, 50, 12, 50, 5, 15),
+    8: DataSetting(8, 37595, 2062, 3.05, 5, 50, 12, 50, 5, 20),
+    9: DataSetting(9, 47410, 2610, 3.05, 5, 50, 12, 50, 5, 25),
+    10: DataSetting(10, 56740, 3138, 3.05, 5, 50, 12, 50, 5, 30),
+}
+
+
+def generate_gid(gid: int, seed: Optional[int] = None, scale: float = 1.0) -> SyntheticSingleGraph:
+    """Generate the dataset for a GID from Table 1 (1–5) or Table 3 (6–10)."""
+    if gid in GID_SETTINGS:
+        return GID_SETTINGS[gid].generate(seed=seed, scale=scale)
+    if gid in GID_6_10_SETTINGS:
+        return GID_6_10_SETTINGS[gid].generate(seed=seed, scale=scale)
+    raise ValueError(f"unknown GID {gid}; expected 1..10")
+
+
+def scalability_series(
+    sizes: List[int],
+    average_degree: float = 3.0,
+    num_labels: int = 100,
+    num_large: int = 4,
+    large_vertices: int = 20,
+    large_support: int = 2,
+    seed: int = 11,
+    model: str = "erdos_renyi",
+) -> List[SyntheticSingleGraph]:
+    """The growing-graph series behind Figures 10–13 and 17.
+
+    The paper grows |V| up to 40 000 (random) and |E| up to ~1.2 M
+    (scale-free); callers choose the concrete ``sizes`` so the pure-Python
+    harness stays within budget while preserving the series shape.
+    """
+    series = []
+    for index, size in enumerate(sizes):
+        pattern_vertices = min(large_vertices, max(6, size // 10))
+        # Injected copies claim disjoint vertices; fit the injections into
+        # roughly 60% of the graph so small sweep points stay generatable.
+        count = num_large
+        while count > 1 and count * pattern_vertices * large_support + 18 > int(0.6 * size):
+            count -= 1
+        series.append(
+            synthetic_single_graph(
+                num_vertices=size,
+                num_labels=num_labels,
+                average_degree=average_degree,
+                num_large_patterns=count,
+                large_pattern_vertices=pattern_vertices,
+                large_pattern_support=large_support,
+                num_small_patterns=3,
+                small_pattern_vertices=3,
+                small_pattern_support=2,
+                seed=seed + index,
+                model=model,
+                max_pattern_diameter=8,
+            )
+        )
+    return series
+
+
+def transaction_database(
+    num_graphs: int = 10,
+    graph_vertices: int = 500,
+    average_degree: float = 5.0,
+    num_labels: int = 65,
+    num_large: int = 5,
+    large_vertices: int = 30,
+    num_small: int = 0,
+    small_vertices: int = 5,
+    seed: int = 21,
+) -> GraphDatabase:
+    """The graph-transaction databases of Figures 14 and 15.
+
+    Figure 14 uses 10 ER graphs with 5 injected large patterns (each present
+    in several transactions); Figure 15 additionally injects 100 small
+    patterns, which is what pushes ORIGAMI toward small outputs.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    labels = label_alphabet(num_labels)
+    graphs = [
+        erdos_renyi_graph(graph_vertices, average_degree, num_labels, seed=rng.randrange(10**9))
+        for _ in range(num_graphs)
+    ]
+    large_patterns = [
+        random_connected_pattern(large_vertices, labels, extra_edge_probability=0.15,
+                                 seed=rng.randrange(10**9), max_diameter=6)
+        for _ in range(num_large)
+    ]
+    small_patterns = [
+        random_connected_pattern(small_vertices, labels, extra_edge_probability=0.3,
+                                 seed=rng.randrange(10**9))
+        for _ in range(num_small)
+    ]
+    # Each large pattern goes into most transactions (high transaction support);
+    # small patterns are spread across transactions.  Injections into the same
+    # transaction claim disjoint vertices (per-graph reserved sets) so a later
+    # small-pattern injection can never relabel part of a large pattern.
+    reserved_per_graph = {id(graph): set() for graph in graphs}
+    for pattern in large_patterns:
+        for graph in graphs[: max(2, int(0.8 * num_graphs))]:
+            inject_pattern(graph, pattern, copies=1, seed=rng.randrange(10**9),
+                           reserved=reserved_per_graph[id(graph)])
+    for pattern in small_patterns:
+        for graph in rng.sample(graphs, max(2, num_graphs // 2)):
+            inject_pattern(graph, pattern, copies=1, seed=rng.randrange(10**9),
+                           reserved=reserved_per_graph[id(graph)])
+    return GraphDatabase(graphs=graphs)

@@ -1,0 +1,96 @@
+"""Labeled-graph substrate for the SpiderMine reproduction.
+
+Public surface:
+
+* :class:`LabeledGraph` and :func:`graph_from_edges` — the graph type;
+* traversal / metric helpers (:func:`diameter`, :func:`bfs_distances`, ...);
+* :func:`canonical_code` / :func:`canonical_form` — canonical labeling;
+* :class:`SubgraphMatcher`, :func:`find_embeddings`, :func:`are_isomorphic`;
+* random graph models and the paper's synthetic injection recipe;
+* plain-text / JSON I/O.
+"""
+
+from .labeled_graph import GraphError, LabeledGraph, graph_from_edges
+from .algorithms import (
+    bfs_distances,
+    center_vertices,
+    connected_components,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    effective_diameter,
+    exact_maximum_independent_set,
+    graph_radius,
+    greedy_maximum_independent_set,
+    is_connected,
+    is_r_bounded_from,
+    radius_from,
+    shortest_path_length,
+    spanning_tree_edges,
+    triangles,
+)
+from .canonical import are_isomorphic_by_code, canonical_code, canonical_form, canonical_order
+from .isomorphism import (
+    SubgraphMatcher,
+    are_isomorphic,
+    count_automorphisms,
+    embedding_edge_image,
+    embedding_image,
+    find_embeddings,
+    subgraph_exists,
+)
+from .generators import (
+    InjectedPattern,
+    SyntheticSingleGraph,
+    assign_random_labels,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    inject_pattern,
+    label_alphabet,
+    random_connected_pattern,
+    synthetic_single_graph,
+)
+from . import io
+
+__all__ = [
+    "GraphError",
+    "LabeledGraph",
+    "graph_from_edges",
+    "bfs_distances",
+    "center_vertices",
+    "connected_components",
+    "degree_histogram",
+    "diameter",
+    "eccentricity",
+    "effective_diameter",
+    "exact_maximum_independent_set",
+    "graph_radius",
+    "greedy_maximum_independent_set",
+    "is_connected",
+    "is_r_bounded_from",
+    "radius_from",
+    "shortest_path_length",
+    "spanning_tree_edges",
+    "triangles",
+    "are_isomorphic_by_code",
+    "canonical_code",
+    "canonical_form",
+    "canonical_order",
+    "SubgraphMatcher",
+    "are_isomorphic",
+    "count_automorphisms",
+    "embedding_edge_image",
+    "embedding_image",
+    "find_embeddings",
+    "subgraph_exists",
+    "InjectedPattern",
+    "SyntheticSingleGraph",
+    "assign_random_labels",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "inject_pattern",
+    "label_alphabet",
+    "random_connected_pattern",
+    "synthetic_single_graph",
+    "io",
+]

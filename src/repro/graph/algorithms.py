@@ -1,0 +1,259 @@
+"""Classic graph algorithms needed by the miners.
+
+Everything here operates on :class:`repro.graph.labeled_graph.LabeledGraph`
+and is written for clarity first; the graphs these run on (patterns, spiders,
+moderate-size data graphs) are small enough that asymptotically clean
+pure-Python implementations suffice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .labeled_graph import GraphError, LabeledGraph, Vertex
+
+
+def bfs_distances(graph: LabeledGraph, source: Vertex) -> Dict[Vertex, int]:
+    """Unweighted shortest-path distances from ``source`` to every reachable vertex."""
+    if source not in graph:
+        raise GraphError(f"vertex {source!r} does not exist")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def shortest_path_length(graph: LabeledGraph, source: Vertex, target: Vertex) -> int:
+    """Length of the shortest path between ``source`` and ``target``.
+
+    Raises :class:`GraphError` if the two vertices are disconnected.
+    """
+    if target not in graph:
+        raise GraphError(f"vertex {target!r} does not exist")
+    dist = bfs_distances(graph, source)
+    if target not in dist:
+        raise GraphError(f"{source!r} and {target!r} are not connected")
+    return dist[target]
+
+
+def connected_components(graph: LabeledGraph) -> List[Set[Vertex]]:
+    """All connected components, largest first."""
+    seen: Set[Vertex] = set()
+    components: List[Set[Vertex]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        component = set(bfs_distances(graph, start))
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: LabeledGraph) -> bool:
+    """Whether the graph is connected.  The empty graph counts as connected."""
+    if graph.num_vertices == 0:
+        return True
+    start = next(iter(graph.vertices()))
+    return len(bfs_distances(graph, start)) == graph.num_vertices
+
+
+def eccentricity(graph: LabeledGraph, vertex: Vertex) -> int:
+    """Largest shortest-path distance from ``vertex`` to any reachable vertex."""
+    dist = bfs_distances(graph, vertex)
+    if len(dist) != graph.num_vertices:
+        raise GraphError("eccentricity is undefined on a disconnected graph")
+    return max(dist.values())
+
+
+def diameter(graph: LabeledGraph) -> int:
+    """Exact diameter (max shortest-path distance over all pairs).
+
+    The paper writes ``diam(G)``.  Patterns are small so the O(|V| * (|V|+|E|))
+    all-sources BFS is acceptable.
+    """
+    if graph.num_vertices == 0:
+        return 0
+    best = 0
+    for v in graph.vertices():
+        best = max(best, eccentricity(graph, v))
+    return best
+
+
+def radius_from(graph: LabeledGraph, vertex: Vertex) -> int:
+    """Eccentricity of ``vertex`` — the ``r`` for which the pattern is r-bounded from it."""
+    return eccentricity(graph, vertex)
+
+
+def graph_radius(graph: LabeledGraph) -> int:
+    """Minimum eccentricity over all vertices (the classic graph radius)."""
+    if graph.num_vertices == 0:
+        return 0
+    return min(eccentricity(graph, v) for v in graph.vertices())
+
+
+def center_vertices(graph: LabeledGraph) -> List[Vertex]:
+    """Vertices whose eccentricity equals the graph radius."""
+    if graph.num_vertices == 0:
+        return []
+    ecc = {v: eccentricity(graph, v) for v in graph.vertices()}
+    r = min(ecc.values())
+    return [v for v, e in ecc.items() if e == r]
+
+
+def is_r_bounded_from(graph: LabeledGraph, vertex: Vertex, r: int) -> bool:
+    """True if every vertex of ``graph`` is within distance ``r`` of ``vertex``.
+
+    This is the paper's condition for ``graph`` being an r-spider with head
+    ``vertex`` (Definition 4), ignoring frequency.
+    """
+    if vertex not in graph:
+        raise GraphError(f"vertex {vertex!r} does not exist")
+    dist = bfs_distances(graph, vertex)
+    if len(dist) != graph.num_vertices:
+        return False
+    return max(dist.values()) <= r
+
+
+def effective_diameter(graph: LabeledGraph, percentile: float = 0.9,
+                       sample_size: Optional[int] = None,
+                       rng: Optional[random.Random] = None) -> int:
+    """The ``percentile`` (default 90th) percentile of pairwise distances.
+
+    The paper cites effective diameters (e.g. DBLP <= 9) as justification for
+    the ``Dmax`` bound.  For large graphs a vertex sample can be used.
+    """
+    if not 0.0 < percentile <= 1.0:
+        raise ValueError("percentile must be in (0, 1]")
+    vertices = list(graph.vertices())
+    if not vertices:
+        return 0
+    if sample_size is not None and sample_size < len(vertices):
+        rng = rng or random.Random(0)
+        vertices = rng.sample(vertices, sample_size)
+    distances: List[int] = []
+    for source in vertices:
+        dist = bfs_distances(graph, source)
+        distances.extend(d for v, d in dist.items() if v != source)
+    if not distances:
+        return 0
+    distances.sort()
+    index = min(len(distances) - 1, int(percentile * len(distances)))
+    return distances[index]
+
+
+def triangles(graph: LabeledGraph) -> int:
+    """Total number of triangles in the graph."""
+    count = 0
+    for u in graph.vertices():
+        nbrs = graph.neighbors(u)
+        for v in nbrs:
+            if repr(v) <= repr(u):
+                continue
+            count += sum(1 for w in graph.neighbors(v) if w in nbrs and repr(w) > repr(v))
+    return count
+
+
+def greedy_maximum_independent_set(
+    adjacency: Dict[Hashable, Set[Hashable]],
+) -> Set[Hashable]:
+    """Greedy (min-degree first) independent set on an arbitrary adjacency dict.
+
+    Used by the overlap-graph support measures when exact MIS is too costly.
+    The greedy value is a lower bound on the true MIS size, which keeps the
+    support measure anti-monotone in the "safe" direction (never over-counts).
+    """
+    remaining = {v: set(n) for v, n in adjacency.items()}
+    chosen: Set[Hashable] = set()
+    heap = [(len(n), repr(v), v) for v, n in remaining.items()]
+    heapq.heapify(heap)
+    removed: Set[Hashable] = set()
+    while heap:
+        _, _, v = heapq.heappop(heap)
+        if v in removed or v not in remaining:
+            continue
+        chosen.add(v)
+        removed.add(v)
+        for u in list(remaining.get(v, ())):
+            removed.add(u)
+            for w in remaining.get(u, ()):
+                remaining.get(w, set()).discard(u)
+            remaining.pop(u, None)
+        remaining.pop(v, None)
+    return chosen
+
+
+def exact_maximum_independent_set(
+    adjacency: Dict[Hashable, Set[Hashable]],
+    limit: int = 20,
+) -> Set[Hashable]:
+    """Exact MIS by branch and bound, for at most ``limit`` vertices.
+
+    Raises :class:`ValueError` when the instance is larger than ``limit`` —
+    callers fall back to :func:`greedy_maximum_independent_set`.
+    """
+    vertices = list(adjacency)
+    if len(vertices) > limit:
+        raise ValueError(f"exact MIS limited to {limit} vertices, got {len(vertices)}")
+
+    best: Set[Hashable] = set()
+
+    def solve(candidates: List[Hashable], current: Set[Hashable]) -> None:
+        nonlocal best
+        if len(current) + len(candidates) <= len(best):
+            return
+        if not candidates:
+            if len(current) > len(best):
+                best = set(current)
+            return
+        v = candidates[0]
+        rest = candidates[1:]
+        # Branch 1: include v.
+        allowed = [u for u in rest if u not in adjacency[v]]
+        solve(allowed, current | {v})
+        # Branch 2: exclude v.
+        solve(rest, current)
+
+    solve(vertices, set())
+    return best
+
+
+def degree_histogram(graph: LabeledGraph) -> Dict[int, int]:
+    """degree → number of vertices with that degree."""
+    hist: Dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def spanning_tree_edges(graph: LabeledGraph, root: Optional[Vertex] = None) -> List[Tuple[Vertex, Vertex]]:
+    """Edges of a BFS spanning forest (a tree when the graph is connected)."""
+    edges: List[Tuple[Vertex, Vertex]] = []
+    seen: Set[Vertex] = set()
+    order: Iterable[Vertex]
+    if root is not None:
+        order = [root] + [v for v in graph.vertices() if v != root]
+    else:
+        order = graph.vertices()
+    for start in order:
+        if start in seen:
+            continue
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    edges.append((u, v))
+                    queue.append(v)
+    return edges

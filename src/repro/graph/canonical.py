@@ -1,0 +1,147 @@
+"""Canonical forms for small labeled graphs.
+
+Graph miners constantly need to answer "have I generated this pattern
+before?".  The expensive way is pairwise isomorphism testing; the standard
+trick — used by gSpan's DFS codes and by our SpiderMine implementation — is to
+map every pattern to a *canonical code*: a string such that two labeled graphs
+receive the same string iff they are isomorphic.
+
+For the small graphs that appear as patterns (tens of vertices) a refinement +
+backtracking canonicalisation is plenty fast and, unlike heuristic codes, is
+exact.  The algorithm:
+
+1. Colour vertices by (label, degree) and iteratively refine colours by the
+   multiset of neighbour colours (1-dimensional Weisfeiler–Leman).
+2. If the colouring is discrete we are done; otherwise branch on every vertex
+   of the first non-singleton colour class (individualisation-refinement) and
+   keep the lexicographically smallest resulting adjacency code.
+
+The resulting :func:`canonical_code` is used as a dict key everywhere patterns
+are deduplicated, and :func:`canonical_form` returns an isomorphic copy of the
+graph on vertices ``0..n-1`` in canonical order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .labeled_graph import LabeledGraph, Vertex
+
+
+def _refine(graph: LabeledGraph, colors: Dict[Vertex, int]) -> Dict[Vertex, int]:
+    """Iteratively refine ``colors`` until stable (1-WL with initial colours)."""
+    vertices = list(graph.vertices())
+    current = dict(colors)
+    while True:
+        signatures = {}
+        for v in vertices:
+            neighbor_colors = sorted(current[u] for u in graph.neighbors(v))
+            signatures[v] = (current[v], tuple(neighbor_colors))
+        # Re-index signatures to compact integers, ordered by signature value.
+        ordered = sorted(set(signatures.values()))
+        index = {sig: i for i, sig in enumerate(ordered)}
+        refined = {v: index[signatures[v]] for v in vertices}
+        if refined == current:
+            return refined
+        current = refined
+
+
+def _initial_colors(graph: LabeledGraph) -> Dict[Vertex, int]:
+    vertices = list(graph.vertices())
+    keys = {v: (repr(graph.label(v)), graph.degree(v)) for v in vertices}
+    ordered = sorted(set(keys.values()))
+    index = {key: i for i, key in enumerate(ordered)}
+    return {v: index[keys[v]] for v in vertices}
+
+
+def _color_classes(colors: Dict[Vertex, int]) -> List[List[Vertex]]:
+    classes: Dict[int, List[Vertex]] = {}
+    for v, c in colors.items():
+        classes.setdefault(c, []).append(v)
+    return [classes[c] for c in sorted(classes)]
+
+
+def _code_for_order(graph: LabeledGraph, order: Sequence[Vertex]) -> str:
+    """Serialise the graph under a total vertex order into a code string."""
+    position = {v: i for i, v in enumerate(order)}
+    label_part = ",".join(repr(graph.label(v)) for v in order)
+    edge_bits: List[str] = []
+    n = len(order)
+    for i in range(n):
+        u = order[i]
+        nbrs = graph.neighbors(u)
+        row = ["1" if order[j] in nbrs else "0" for j in range(i + 1, n)]
+        edge_bits.append("".join(row))
+    return label_part + "|" + "|".join(edge_bits)
+
+
+def _canonical_order(graph: LabeledGraph) -> List[Vertex]:
+    """Find the vertex order whose code is lexicographically smallest."""
+    vertices = list(graph.vertices())
+    if not vertices:
+        return []
+
+    best_code: Optional[str] = None
+    best_order: List[Vertex] = []
+
+    def search(colors: Dict[Vertex, int]) -> None:
+        nonlocal best_code, best_order
+        colors = _refine(graph, colors)
+        classes = _color_classes(colors)
+        target = next((c for c in classes if len(c) > 1), None)
+        if target is None:
+            order = sorted(vertices, key=lambda v: colors[v])
+            code = _code_for_order(graph, order)
+            if best_code is None or code < best_code:
+                best_code = code
+                best_order = order
+            return
+        # Individualise each vertex of the first non-singleton class.  Vertices
+        # of the class that are *twins* (identical open or closed labeled
+        # neighbourhoods) are interchangeable by an automorphism that swaps
+        # only the two of them, so branching on one representative per twin
+        # group is enough — this is what keeps stars/cliques of same-label
+        # vertices (common in label-poor graphs) from exploding the search.
+        new_color = max(colors.values()) + 1
+        seen_twin_keys = set()
+        for v in sorted(target, key=repr):
+            neighbors = graph.neighbors(v)
+            open_key = ("o", frozenset(neighbors))
+            closed_key = ("c", frozenset(neighbors | {v}))
+            if open_key in seen_twin_keys or closed_key in seen_twin_keys:
+                continue
+            seen_twin_keys.add(open_key)
+            seen_twin_keys.add(closed_key)
+            branched = dict(colors)
+            branched[v] = new_color
+            search(branched)
+
+    search(_initial_colors(graph))
+    return best_order
+
+
+def canonical_order(graph: LabeledGraph) -> List[Vertex]:
+    """The canonical vertex ordering of ``graph`` (stable across isomorphic copies)."""
+    return _canonical_order(graph)
+
+
+def canonical_code(graph: LabeledGraph) -> str:
+    """A string equal for two labeled graphs iff they are isomorphic."""
+    order = _canonical_order(graph)
+    return _code_for_order(graph, order)
+
+
+def canonical_form(graph: LabeledGraph) -> LabeledGraph:
+    """An isomorphic copy of ``graph`` on vertices ``0..n-1`` in canonical order."""
+    order = _canonical_order(graph)
+    mapping = {v: i for i, v in enumerate(order)}
+    return graph.relabeled(mapping)
+
+
+def are_isomorphic_by_code(first: LabeledGraph, second: LabeledGraph) -> bool:
+    """Exact labeled-graph isomorphism decided through canonical codes."""
+    if first.num_vertices != second.num_vertices or first.num_edges != second.num_edges:
+        return False
+    if first.label_counts() != second.label_counts():
+        return False
+    return canonical_code(first) == canonical_code(second)

@@ -1,0 +1,335 @@
+"""Random graph models and the paper's synthetic-data methodology.
+
+The experimental section of the paper builds its synthetic single graphs by
+
+1. generating a *background* graph from either the Erdős–Rényi ``G(n, p)``
+   model or the Barabási–Albert preferential-attachment model,
+2. assigning vertex labels uniformly from a label alphabet of size ``f``, and
+3. *injecting* a number of hand-built large patterns (size ``|V_L|``, each
+   embedded ``L_sup`` times) and small patterns (size ``|V_S|``, embedded
+   ``S_sup`` times) by overwriting the labels of randomly chosen background
+   vertices and adding the pattern's edges between them.
+
+This module implements all three steps.  Injection records where each copy
+went so tests and benchmarks can verify that the miners recover the planted
+patterns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .labeled_graph import LabeledGraph, Vertex
+
+
+def _rng(seed_or_rng: Optional[object]) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+# ---------------------------------------------------------------------- #
+# label helpers
+# ---------------------------------------------------------------------- #
+def label_alphabet(size: int, prefix: str = "L") -> List[str]:
+    """A label alphabet of ``size`` distinct strings, e.g. ``['L0', ..]``."""
+    if size < 1:
+        raise ValueError("label alphabet must have at least one symbol")
+    return [f"{prefix}{i}" for i in range(size)]
+
+
+def assign_random_labels(
+    graph: LabeledGraph,
+    labels: Sequence[str],
+    seed: Optional[object] = None,
+) -> None:
+    """(Re)label every vertex of ``graph`` uniformly at random from ``labels``.
+
+    Works in place by rebuilding the label index; vertex identities and edges
+    are preserved.
+    """
+    rng = _rng(seed)
+    relabel = {v: rng.choice(list(labels)) for v in graph.vertices()}
+    edges = list(graph.edges())
+    fresh = LabeledGraph()
+    for v, label in relabel.items():
+        fresh.add_vertex(v, label)
+    for u, v in edges:
+        fresh.add_edge(u, v)
+    # Swap internals into the caller's object so the operation is in-place.
+    graph._labels = fresh._labels
+    graph._adj = fresh._adj
+    graph._label_index = fresh._label_index
+    graph._num_edges = fresh._num_edges
+
+
+# ---------------------------------------------------------------------- #
+# background models
+# ---------------------------------------------------------------------- #
+def erdos_renyi_graph(
+    num_vertices: int,
+    average_degree: float,
+    num_labels: int,
+    seed: Optional[object] = None,
+) -> LabeledGraph:
+    """``G(n, m)`` Erdős–Rényi graph with ``m = n * average_degree / 2`` edges.
+
+    The paper parameterises its random graphs by average degree ``d`` (Table
+    1), so we expose the same knob rather than the edge probability ``p``.
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    if average_degree < 0:
+        raise ValueError("average_degree must be non-negative")
+    rng = _rng(seed)
+    labels = label_alphabet(num_labels)
+    graph = LabeledGraph()
+    for v in range(num_vertices):
+        graph.add_vertex(v, rng.choice(labels))
+    target_edges = int(round(num_vertices * average_degree / 2.0))
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    target_edges = min(target_edges, max_edges)
+    attempts = 0
+    while graph.num_edges < target_edges and attempts < 50 * target_edges + 100:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        attempts += 1
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    num_labels: int,
+    seed: Optional[object] = None,
+) -> LabeledGraph:
+    """Barabási–Albert scale-free graph (preferential attachment).
+
+    Each new vertex attaches to ``edges_per_vertex`` existing vertices chosen
+    proportionally to their degree, which yields the power-law degree
+    distribution the paper uses for its scale-free experiments.
+    """
+    if edges_per_vertex < 1:
+        raise ValueError("edges_per_vertex must be at least 1")
+    if num_vertices <= edges_per_vertex:
+        raise ValueError("num_vertices must exceed edges_per_vertex")
+    rng = _rng(seed)
+    labels = label_alphabet(num_labels)
+    graph = LabeledGraph()
+    # Seed clique-ish core of edges_per_vertex + 1 vertices.
+    core = edges_per_vertex + 1
+    for v in range(core):
+        graph.add_vertex(v, rng.choice(labels))
+    for u in range(core):
+        for v in range(u + 1, core):
+            graph.add_edge(u, v)
+    # Repeated-endpoints list drives preferential attachment.
+    endpoints: List[int] = []
+    for u, v in graph.edges():
+        endpoints.extend((u, v))
+    for new in range(core, num_vertices):
+        graph.add_vertex(new, rng.choice(labels))
+        targets: set = set()
+        while len(targets) < edges_per_vertex:
+            targets.add(rng.choice(endpoints))
+        for t in targets:
+            graph.add_edge(new, t)
+            endpoints.extend((new, t))
+    return graph
+
+
+# ---------------------------------------------------------------------- #
+# pattern construction
+# ---------------------------------------------------------------------- #
+def random_connected_pattern(
+    num_vertices: int,
+    labels: Sequence[str],
+    extra_edge_probability: float = 0.25,
+    seed: Optional[object] = None,
+    max_diameter: Optional[int] = None,
+) -> LabeledGraph:
+    """A random connected labeled pattern of ``num_vertices`` vertices.
+
+    Built as a random spanning tree plus extra edges with probability
+    ``extra_edge_probability`` per non-tree pair.  If ``max_diameter`` is
+    given the tree is grown breadth-first so the result respects the bound
+    (extra edges can only shrink distances).
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    rng = _rng(seed)
+    pattern = LabeledGraph()
+    label_list = list(labels)
+    for v in range(num_vertices):
+        pattern.add_vertex(v, rng.choice(label_list))
+    if num_vertices == 1:
+        return pattern
+
+    depth = {0: 0}
+    for v in range(1, num_vertices):
+        if max_diameter is None:
+            parent = rng.randrange(v)
+        else:
+            limit = max(1, max_diameter // 2)
+            eligible = [u for u in range(v) if depth[u] < limit]
+            parent = rng.choice(eligible) if eligible else rng.randrange(v)
+        pattern.add_edge(v, parent)
+        depth[v] = depth[parent] + 1
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if not pattern.has_edge(u, v) and rng.random() < extra_edge_probability:
+                pattern.add_edge(u, v)
+    return pattern
+
+
+@dataclass
+class InjectedPattern:
+    """Record of one planted pattern and all the places it was planted."""
+
+    pattern: LabeledGraph
+    embeddings: List[Dict[int, Vertex]] = field(default_factory=list)
+
+    @property
+    def support(self) -> int:
+        return len(self.embeddings)
+
+
+def inject_pattern(
+    graph: LabeledGraph,
+    pattern: LabeledGraph,
+    copies: int,
+    seed: Optional[object] = None,
+    allow_overlap: bool = False,
+    reserved: Optional[set] = None,
+) -> InjectedPattern:
+    """Plant ``copies`` embeddings of ``pattern`` into ``graph`` in place.
+
+    Each copy picks ``|V(pattern)|`` distinct background vertices, rewrites
+    their labels to the pattern's labels and adds the pattern's edges between
+    them.  Distinct copies use disjoint vertex sets unless ``allow_overlap``.
+
+    ``reserved`` is an optional set of vertices that must not be touched —
+    typically the vertices already claimed by previously injected patterns,
+    so that one injection cannot relabel (and thereby corrupt) another.  The
+    set is updated in place with the vertices this call claims.
+
+    Returns the injection record with the vertex maps actually used.
+    """
+    rng = _rng(seed)
+    record = InjectedPattern(pattern=pattern.copy())
+    pattern_vertices = sorted(pattern.vertices(), key=repr)
+    available = [v for v in graph.vertices()]
+    used: set = set() if reserved is None else reserved
+    claimed_here: set = set()
+    for _ in range(copies):
+        pool = [v for v in available if allow_overlap or (v not in used and v not in claimed_here)]
+        if len(pool) < len(pattern_vertices):
+            raise ValueError(
+                "not enough background vertices left to inject another copy "
+                f"(need {len(pattern_vertices)}, have {len(pool)})"
+            )
+        chosen = rng.sample(pool, len(pattern_vertices))
+        mapping = dict(zip(pattern_vertices, chosen))
+        # Rewrite labels (rebuild label index entries for the affected vertices).
+        for p_vertex, g_vertex in mapping.items():
+            _set_label(graph, g_vertex, pattern.label(p_vertex))
+        for u, v in pattern.edges():
+            gu, gv = mapping[u], mapping[v]
+            if not graph.has_edge(gu, gv):
+                graph.add_edge(gu, gv)
+        claimed_here.update(chosen)
+        record.embeddings.append(mapping)
+    used.update(claimed_here)
+    return record
+
+
+def _set_label(graph: LabeledGraph, vertex: Vertex, label: str) -> None:
+    """Overwrite a single vertex label, keeping the label index consistent."""
+    old = graph._labels[vertex]
+    if old == label:
+        return
+    graph._label_index[old].discard(vertex)
+    if not graph._label_index[old]:
+        del graph._label_index[old]
+    graph._labels[vertex] = label
+    graph._label_index.setdefault(label, set()).add(vertex)
+
+
+# ---------------------------------------------------------------------- #
+# the paper's full synthetic recipe
+# ---------------------------------------------------------------------- #
+@dataclass
+class SyntheticSingleGraph:
+    """A background graph plus the records of every injected pattern."""
+
+    graph: LabeledGraph
+    large_patterns: List[InjectedPattern]
+    small_patterns: List[InjectedPattern]
+
+    @property
+    def planted_large_sizes(self) -> List[int]:
+        return [p.pattern.num_vertices for p in self.large_patterns]
+
+
+def synthetic_single_graph(
+    num_vertices: int,
+    num_labels: int,
+    average_degree: float,
+    num_large_patterns: int,
+    large_pattern_vertices: int,
+    large_pattern_support: int,
+    num_small_patterns: int,
+    small_pattern_vertices: int,
+    small_pattern_support: int,
+    seed: Optional[object] = None,
+    model: str = "erdos_renyi",
+    max_pattern_diameter: Optional[int] = None,
+) -> SyntheticSingleGraph:
+    """Generate a synthetic single graph exactly the way the paper does.
+
+    Parameters mirror Table 1: ``|V|``, ``f``, ``d``, ``m``/``|V_L|``/``L_sup``
+    for the large patterns and ``n``/``|V_S|``/``S_sup`` for the small ones.
+    ``model`` selects the background generator (``"erdos_renyi"`` or
+    ``"barabasi_albert"``).
+    """
+    rng = _rng(seed)
+    labels = label_alphabet(num_labels)
+    if model == "erdos_renyi":
+        graph = erdos_renyi_graph(num_vertices, average_degree, num_labels, seed=rng)
+    elif model == "barabasi_albert":
+        m = max(1, int(round(average_degree / 2)))
+        graph = barabasi_albert_graph(num_vertices, m, num_labels, seed=rng)
+    else:
+        raise ValueError(f"unknown background model {model!r}")
+
+    # All injected copies of all patterns claim disjoint background vertices so
+    # that later injections never relabel (corrupt) earlier ones.
+    reserved: set = set()
+    large_records: List[InjectedPattern] = []
+    for _ in range(num_large_patterns):
+        pattern = random_connected_pattern(
+            large_pattern_vertices,
+            labels,
+            extra_edge_probability=0.15,
+            seed=rng,
+            max_diameter=max_pattern_diameter,
+        )
+        large_records.append(
+            inject_pattern(graph, pattern, large_pattern_support, seed=rng, reserved=reserved)
+        )
+
+    small_records: List[InjectedPattern] = []
+    for _ in range(num_small_patterns):
+        pattern = random_connected_pattern(
+            small_pattern_vertices, labels, extra_edge_probability=0.3, seed=rng
+        )
+        small_records.append(
+            inject_pattern(graph, pattern, small_pattern_support, seed=rng, reserved=reserved)
+        )
+
+    return SyntheticSingleGraph(graph=graph, large_patterns=large_records, small_patterns=small_records)

@@ -1,0 +1,114 @@
+"""Serialisation of labeled graphs.
+
+Two plain-text formats are provided:
+
+* an **edge-list format** (``.lg``) compatible in spirit with the format used
+  by gSpan/MoSS distributions: ``v <id> <label>`` lines followed by
+  ``e <src> <dst>`` lines, one graph per ``t # <id>`` block;
+* a **JSON format** mainly for round-tripping experiment artifacts.
+
+Both formats preserve vertex identities and labels exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from .labeled_graph import GraphError, LabeledGraph
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------- #
+# edge-list (.lg) format
+# ---------------------------------------------------------------------- #
+def graphs_to_lg(graphs: Sequence[LabeledGraph]) -> str:
+    """Serialise a sequence of graphs in the gSpan-style text format."""
+    lines: List[str] = []
+    for index, graph in enumerate(graphs):
+        lines.append(f"t # {index}")
+        id_map = {v: i for i, v in enumerate(sorted(graph.vertices(), key=repr))}
+        for vertex, local in sorted(id_map.items(), key=lambda kv: kv[1]):
+            lines.append(f"v {local} {graph.label(vertex)}")
+        for u, v in sorted(graph.edges(), key=lambda e: (id_map[e[0]], id_map[e[1]])):
+            a, b = id_map[u], id_map[v]
+            if a > b:
+                a, b = b, a
+            lines.append(f"e {a} {b}")
+    return "\n".join(lines) + "\n"
+
+
+def graphs_from_lg(text: str) -> List[LabeledGraph]:
+    """Parse the gSpan-style text format produced by :func:`graphs_to_lg`."""
+    graphs: List[LabeledGraph] = []
+    current: LabeledGraph = LabeledGraph()
+    started = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if started:
+                graphs.append(current)
+            current = LabeledGraph()
+            started = True
+        elif kind == "v":
+            if len(parts) < 3:
+                raise GraphError(f"line {line_number}: malformed vertex line {raw!r}")
+            current.add_vertex(int(parts[1]), " ".join(parts[2:]))
+        elif kind == "e":
+            if len(parts) < 3:
+                raise GraphError(f"line {line_number}: malformed edge line {raw!r}")
+            current.add_edge(int(parts[1]), int(parts[2]))
+        else:
+            raise GraphError(f"line {line_number}: unknown record type {kind!r}")
+    if started:
+        graphs.append(current)
+    return graphs
+
+
+def write_lg(graphs: Sequence[LabeledGraph], path: PathLike) -> None:
+    Path(path).write_text(graphs_to_lg(graphs), encoding="utf-8")
+
+
+def read_lg(path: PathLike) -> List[LabeledGraph]:
+    return graphs_from_lg(Path(path).read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------- #
+# JSON format
+# ---------------------------------------------------------------------- #
+def graph_to_dict(graph: LabeledGraph) -> Dict:
+    """A JSON-serialisable dict for one graph (vertex ids coerced to str keys)."""
+    return {
+        "vertices": {str(v): graph.label(v) for v in graph.vertices()},
+        "edges": [[str(u), str(v)] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(data: Dict) -> LabeledGraph:
+    """Inverse of :func:`graph_to_dict`.  Vertex ids become strings or ints."""
+    graph = LabeledGraph()
+
+    def coerce(key: str):
+        return int(key) if key.lstrip("-").isdigit() else key
+
+    for key, label in data["vertices"].items():
+        graph.add_vertex(coerce(key), label)
+    for u, v in data["edges"]:
+        graph.add_edge(coerce(u), coerce(v))
+    return graph
+
+
+def write_json(graphs: Sequence[LabeledGraph], path: PathLike) -> None:
+    payload = [graph_to_dict(g) for g in graphs]
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> List[LabeledGraph]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return [graph_from_dict(item) for item in payload]

@@ -1,0 +1,255 @@
+"""Labeled (sub)graph isomorphism.
+
+Two related problems are needed by the miners:
+
+* **graph isomorphism** between two small patterns — answered either through
+  canonical codes (:mod:`repro.graph.canonical`) or by the matcher here;
+* **subgraph isomorphism enumeration**: find every embedding of a pattern in
+  the (much larger) data graph.  This powers support counting for the
+  baselines and the verification paths of SpiderMine.
+
+The matcher is a VF2-style backtracking search with the standard pruning
+rules: label equality, degree feasibility, and connectivity-driven candidate
+ordering (the next pattern vertex matched is always adjacent to an already
+matched one whenever the pattern is connected, which keeps the candidate set
+small — neighbours of already-mapped data vertices only).
+
+Embeddings are *induced on edges* (not vertices): an embedding is an injective
+map ``f`` on pattern vertices preserving labels with ``(u,v) ∈ E(P) ⇒
+(f(u),f(v)) ∈ E(G)``.  That is the standard subgraph (monomorphism) semantics
+used by the paper and by all compared systems.  Set ``induced=True`` for the
+stricter induced-subgraph semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .labeled_graph import LabeledGraph, Vertex
+
+Mapping = Dict[Vertex, Vertex]
+
+
+class SubgraphMatcher:
+    """Enumerates embeddings of ``pattern`` in ``target``."""
+
+    def __init__(
+        self,
+        pattern: LabeledGraph,
+        target: LabeledGraph,
+        induced: bool = False,
+    ) -> None:
+        self.pattern = pattern
+        self.target = target
+        self.induced = induced
+        self._order = self._matching_order()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def find_embeddings(
+        self,
+        limit: Optional[int] = None,
+        anchor: Optional[Tuple[Vertex, Vertex]] = None,
+    ) -> List[Mapping]:
+        """All embeddings (pattern-vertex → target-vertex maps), up to ``limit``.
+
+        ``anchor=(p, t)`` forces pattern vertex ``p`` to map to target vertex
+        ``t`` — used when enumerating spiders around a fixed head.
+        """
+        return list(self.iter_embeddings(limit=limit, anchor=anchor))
+
+    def iter_embeddings(
+        self,
+        limit: Optional[int] = None,
+        anchor: Optional[Tuple[Vertex, Vertex]] = None,
+    ) -> Iterator[Mapping]:
+        if self.pattern.num_vertices == 0:
+            return
+        if self.pattern.num_vertices > self.target.num_vertices:
+            return
+        if self.pattern.num_edges > self.target.num_edges:
+            return
+        if not self._labels_feasible():
+            return
+        order = self._order
+        if anchor is not None:
+            p_anchor, t_anchor = anchor
+            if p_anchor not in self.pattern or t_anchor not in self.target:
+                return
+            if self.pattern.label(p_anchor) != self.target.label(t_anchor):
+                return
+            order = [p_anchor] + [v for v in order if v != p_anchor]
+            initial: Mapping = {p_anchor: t_anchor}
+            used = {t_anchor}
+            start_index = 1
+        else:
+            initial = {}
+            used = set()
+            start_index = 0
+
+        count = 0
+        for mapping in self._search(order, start_index, initial, used):
+            yield dict(mapping)
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+    def exists(self, anchor: Optional[Tuple[Vertex, Vertex]] = None) -> bool:
+        """Whether at least one embedding exists."""
+        for _ in self.iter_embeddings(limit=1, anchor=anchor):
+            return True
+        return False
+
+    def count(self, limit: Optional[int] = None) -> int:
+        """Number of embeddings (optionally capped at ``limit``)."""
+        n = 0
+        for _ in self.iter_embeddings(limit=limit):
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _labels_feasible(self) -> bool:
+        target_counts = self.target.label_counts()
+        for label, needed in self.pattern.label_counts().items():
+            if target_counts.get(label, 0) < needed:
+                return False
+        return True
+
+    def _matching_order(self) -> List[Vertex]:
+        """Connectivity-first ordering: rarest label first, then BFS-expand."""
+        pattern = self.pattern
+        if pattern.num_vertices == 0:
+            return []
+        target_counts = self.target.label_counts()
+
+        def rarity(v: Vertex) -> Tuple[int, int, str]:
+            return (
+                target_counts.get(pattern.label(v), 0),
+                -pattern.degree(v),
+                repr(v),
+            )
+
+        remaining = set(pattern.vertices())
+        order: List[Vertex] = []
+        while remaining:
+            # Start a new component at the most selective vertex.
+            start = min(remaining, key=rarity)
+            order.append(start)
+            remaining.discard(start)
+            frontier = [v for v in pattern.neighbors(start) if v in remaining]
+            while frontier:
+                nxt = min(frontier, key=rarity)
+                order.append(nxt)
+                remaining.discard(nxt)
+                frontier = [v for v in frontier if v != nxt]
+                frontier.extend(
+                    v for v in pattern.neighbors(nxt) if v in remaining and v not in frontier
+                )
+        return order
+
+    def _candidates(self, p_vertex: Vertex, mapping: Mapping, used: Set[Vertex]) -> Iterator[Vertex]:
+        pattern, target = self.pattern, self.target
+        label = pattern.label(p_vertex)
+        mapped_neighbors = [u for u in pattern.neighbors(p_vertex) if u in mapping]
+        if mapped_neighbors:
+            # Candidates must be unused neighbours of every mapped pattern-neighbour.
+            first = mapped_neighbors[0]
+            candidate_pool = target.neighbors(mapping[first])
+            for other in mapped_neighbors[1:]:
+                candidate_pool = candidate_pool & target.neighbors(mapping[other])
+            for t_vertex in candidate_pool:
+                if t_vertex not in used and target.label(t_vertex) == label:
+                    yield t_vertex
+        else:
+            for t_vertex in self.target.vertices_with_label(label):
+                if t_vertex not in used:
+                    yield t_vertex
+
+    def _feasible(self, p_vertex: Vertex, t_vertex: Vertex, mapping: Mapping) -> bool:
+        pattern, target = self.pattern, self.target
+        if target.degree(t_vertex) < pattern.degree(p_vertex):
+            return False
+        t_neighbors = target.neighbors(t_vertex)
+        for p_neighbor in pattern.neighbors(p_vertex):
+            if p_neighbor in mapping and mapping[p_neighbor] not in t_neighbors:
+                return False
+        if self.induced:
+            # No extra edges allowed between the new image and previously mapped images.
+            p_neighbor_set = pattern.neighbors(p_vertex)
+            for p_mapped, t_mapped in mapping.items():
+                if t_mapped in t_neighbors and p_mapped not in p_neighbor_set:
+                    return False
+        return True
+
+    def _search(
+        self,
+        order: Sequence[Vertex],
+        index: int,
+        mapping: Mapping,
+        used: Set[Vertex],
+    ) -> Iterator[Mapping]:
+        if index == len(order):
+            yield mapping
+            return
+        p_vertex = order[index]
+        for t_vertex in self._candidates(p_vertex, mapping, used):
+            if not self._feasible(p_vertex, t_vertex, mapping):
+                continue
+            mapping[p_vertex] = t_vertex
+            used.add(t_vertex)
+            yield from self._search(order, index + 1, mapping, used)
+            del mapping[p_vertex]
+            used.discard(t_vertex)
+
+
+# ---------------------------------------------------------------------- #
+# module-level conveniences
+# ---------------------------------------------------------------------- #
+def find_embeddings(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    limit: Optional[int] = None,
+    induced: bool = False,
+) -> List[Mapping]:
+    """All embeddings of ``pattern`` in ``target`` (possibly capped)."""
+    return SubgraphMatcher(pattern, target, induced=induced).find_embeddings(limit=limit)
+
+
+def subgraph_exists(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """Whether ``pattern`` has at least one embedding in ``target``."""
+    return SubgraphMatcher(pattern, target).exists()
+
+
+def are_isomorphic(first: LabeledGraph, second: LabeledGraph) -> bool:
+    """Exact labeled graph isomorphism via bidirectional size checks + VF2."""
+    if first.num_vertices != second.num_vertices or first.num_edges != second.num_edges:
+        return False
+    if first.label_counts() != second.label_counts():
+        return False
+    if first.degree_sequence() != second.degree_sequence():
+        return False
+    return SubgraphMatcher(first, second, induced=True).exists()
+
+
+def count_automorphisms(graph: LabeledGraph, limit: Optional[int] = None) -> int:
+    """Number of label-preserving automorphisms of ``graph``."""
+    return SubgraphMatcher(graph, graph, induced=True).count(limit=limit)
+
+
+def embedding_image(mapping: Mapping) -> FrozenSet[Vertex]:
+    """The set of data-graph vertices an embedding covers."""
+    return frozenset(mapping.values())
+
+
+def embedding_edge_image(pattern: LabeledGraph, mapping: Mapping) -> FrozenSet[Tuple[Vertex, Vertex]]:
+    """The set of data-graph edges an embedding covers (normalised by repr order)."""
+    edges = set()
+    for u, v in pattern.edges():
+        a, b = mapping[u], mapping[v]
+        if repr(b) < repr(a):
+            a, b = b, a
+        edges.add((a, b))
+    return frozenset(edges)

@@ -1,0 +1,293 @@
+"""Vertex-labeled undirected graph used throughout the SpiderMine reproduction.
+
+The paper's input is a single massive vertex-labeled network.  ``LabeledGraph``
+is a light-weight adjacency-set representation with a label index so that
+label-constrained traversals (the inner loop of every miner in this package)
+stay O(degree) instead of O(|V|).
+
+Vertices are arbitrary hashable identifiers (ints in all generators).  Edges
+are undirected and stored once per endpoint.  Self-loops are rejected because
+none of the mining algorithms in the paper consider them; parallel edges are
+impossible by construction (adjacency sets).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Vertex = Hashable
+Label = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class GraphError(ValueError):
+    """Raised for structurally invalid graph operations."""
+
+
+class LabeledGraph:
+    """An undirected graph whose vertices carry labels.
+
+    Parameters
+    ----------
+    directed:
+        Kept for API completeness.  The SpiderMine paper works on undirected
+        graphs (the Jeti call graph is treated as a labeled undirected graph),
+        so only ``directed=False`` is supported; passing ``True`` raises.
+    """
+
+    __slots__ = ("_labels", "_adj", "_label_index", "_num_edges")
+
+    def __init__(self, directed: bool = False) -> None:
+        if directed:
+            raise GraphError("LabeledGraph only supports undirected graphs")
+        self._labels: Dict[Vertex, Label] = {}
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._label_index: Dict[Label, Set[Vertex]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: Vertex, label: Label) -> None:
+        """Add ``vertex`` with ``label``; re-adding with the same label is a no-op."""
+        if vertex in self._labels:
+            if self._labels[vertex] != label:
+                raise GraphError(
+                    f"vertex {vertex!r} already exists with label "
+                    f"{self._labels[vertex]!r}, cannot relabel to {label!r}"
+                )
+            return
+        self._labels[vertex] = label
+        self._adj[vertex] = set()
+        self._label_index.setdefault(label, set()).add(vertex)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``.  Both endpoints must exist."""
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} is not allowed")
+        if u not in self._labels or v not in self._labels:
+            missing = u if u not in self._labels else v
+            raise GraphError(f"vertex {missing!r} must be added before the edge")
+        if v in self._adj[u]:
+            return
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}`` if present; raise if absent."""
+        if u not in self._adj or v not in self._adj[u]:
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all incident edges."""
+        if vertex not in self._labels:
+            raise GraphError(f"vertex {vertex!r} does not exist")
+        for neighbor in list(self._adj[vertex]):
+            self.remove_edge(vertex, neighbor)
+        label = self._labels.pop(vertex)
+        self._label_index[label].discard(vertex)
+        if not self._label_index[label]:
+            del self._label_index[label]
+        del self._adj[vertex]
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._labels)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield each undirected edge exactly once."""
+        seen: Set[Vertex] = set()
+        for u in self._labels:
+            for v in self._adj[u]:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def label(self, vertex: Vertex) -> Label:
+        try:
+            return self._labels[vertex]
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} does not exist") from None
+
+    def labels(self) -> Dict[Vertex, Label]:
+        """A copy of the vertex → label mapping."""
+        return dict(self._labels)
+
+    def label_set(self) -> Set[Label]:
+        return set(self._label_index)
+
+    def label_counts(self) -> Counter:
+        """How many vertices carry each label."""
+        return Counter({label: len(vs) for label, vs in self._label_index.items()})
+
+    def vertices_with_label(self, label: Label) -> FrozenSet[Vertex]:
+        return frozenset(self._label_index.get(label, frozenset()))
+
+    def neighbors(self, vertex: Vertex) -> FrozenSet[Vertex]:
+        try:
+            return frozenset(self._adj[vertex])
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} does not exist") from None
+
+    def degree(self, vertex: Vertex) -> int:
+        try:
+            return len(self._adj[vertex])
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} does not exist") from None
+
+    def average_degree(self) -> float:
+        if not self._labels:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._labels)
+
+    def max_degree(self) -> int:
+        if not self._labels:
+            return 0
+        return max(len(n) for n in self._adj.values())
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "LabeledGraph":
+        other = LabeledGraph()
+        other._labels = dict(self._labels)
+        other._adj = {v: set(n) for v, n in self._adj.items()}
+        other._label_index = {l: set(vs) for l, vs in self._label_index.items()}
+        other._num_edges = self._num_edges
+        return other
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "LabeledGraph":
+        """The induced subgraph on ``vertices``."""
+        selected = set(vertices)
+        unknown = selected - self._labels.keys()
+        if unknown:
+            raise GraphError(f"vertices not in graph: {sorted(map(repr, unknown))}")
+        sub = LabeledGraph()
+        for v in selected:
+            sub.add_vertex(v, self._labels[v])
+        for v in selected:
+            for u in self._adj[v]:
+                if u in selected and not sub.has_edge(u, v):
+                    sub.add_edge(u, v)
+        return sub
+
+    def edge_subgraph(self, edge_list: Iterable[Edge]) -> "LabeledGraph":
+        """The subgraph containing exactly ``edge_list`` and their endpoints."""
+        sub = LabeledGraph()
+        for u, v in edge_list:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+            sub.add_vertex(u, self._labels[u])
+            sub.add_vertex(v, self._labels[v])
+            sub.add_edge(u, v)
+        return sub
+
+    def relabeled(self, mapping: Optional[Dict[Vertex, Vertex]] = None) -> "LabeledGraph":
+        """Return a copy with vertices renamed to 0..n-1 (or by ``mapping``)."""
+        if mapping is None:
+            mapping = {v: i for i, v in enumerate(sorted(self._labels, key=repr))}
+        out = LabeledGraph()
+        for v, label in self._labels.items():
+            out.add_vertex(mapping[v], label)
+        for u, v in self.edges():
+            out.add_edge(mapping[u], mapping[v])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # traversal helpers used by the miners
+    # ------------------------------------------------------------------ #
+    def bfs_within(self, source: Vertex, radius: int) -> Dict[Vertex, int]:
+        """Vertices within ``radius`` hops of ``source`` → their distance."""
+        if source not in self._labels:
+            raise GraphError(f"vertex {source!r} does not exist")
+        if radius < 0:
+            raise GraphError("radius must be non-negative")
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            if dist[u] == radius:
+                continue
+            for v in self._adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def neighborhood_subgraph(self, source: Vertex, radius: int) -> "LabeledGraph":
+        """The induced subgraph on the ``radius``-ball around ``source``."""
+        return self.subgraph(self.bfs_within(source, radius))
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LabeledGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"labels={len(self._label_index)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality on the *identified* graph (same vertex ids)."""
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return self._labels == other._labels and self._adj == other._adj
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are not hashable
+        raise TypeError("LabeledGraph is mutable and unhashable")
+
+    def degree_sequence(self) -> List[int]:
+        return sorted((len(n) for n in self._adj.values()), reverse=True)
+
+    def density(self) -> float:
+        n = self.num_vertices
+        if n < 2:
+            return 0.0
+        return 2.0 * self._num_edges / (n * (n - 1))
+
+
+def graph_from_edges(
+    edges: Iterable[Tuple[Vertex, Vertex]],
+    labels: Dict[Vertex, Label],
+) -> LabeledGraph:
+    """Build a :class:`LabeledGraph` from an edge list plus a label map.
+
+    Isolated vertices can be included by listing them in ``labels`` even if no
+    edge mentions them.
+    """
+    graph = LabeledGraph()
+    for vertex, label in labels.items():
+        graph.add_vertex(vertex, label)
+    for u, v in edges:
+        if u not in labels or v not in labels:
+            missing = u if u not in labels else v
+            raise GraphError(f"edge endpoint {missing!r} has no label")
+        graph.add_edge(u, v)
+    return graph

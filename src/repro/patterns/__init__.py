@@ -1,0 +1,54 @@
+"""Pattern layer: patterns, embeddings, support measures, spiders and the lattice helpers."""
+
+from .embedding import Embedding
+from .pattern import Pattern, deduplicate_patterns, sort_patterns_by_size, top_k_patterns
+from .support import (
+    SupportMeasure,
+    compute_support,
+    edge_disjoint_support,
+    embedding_image_support,
+    harmful_overlap_support,
+    is_frequent,
+    select_disjoint_embeddings,
+)
+from .spider import (
+    Spider,
+    SpiderSet,
+    SpiderSetIndex,
+    extract_spider,
+    extract_spider_from_data,
+    head_distinguished_code,
+)
+from .lattice import (
+    filter_maximal_patterns,
+    group_by_size,
+    is_sub_pattern,
+    same_support_set,
+    size_distribution,
+)
+
+__all__ = [
+    "Embedding",
+    "Pattern",
+    "deduplicate_patterns",
+    "sort_patterns_by_size",
+    "top_k_patterns",
+    "SupportMeasure",
+    "compute_support",
+    "edge_disjoint_support",
+    "embedding_image_support",
+    "harmful_overlap_support",
+    "is_frequent",
+    "select_disjoint_embeddings",
+    "Spider",
+    "SpiderSet",
+    "SpiderSetIndex",
+    "extract_spider",
+    "extract_spider_from_data",
+    "head_distinguished_code",
+    "filter_maximal_patterns",
+    "group_by_size",
+    "is_sub_pattern",
+    "same_support_set",
+    "size_distribution",
+]

@@ -1,0 +1,97 @@
+"""Embeddings of a pattern in a data graph.
+
+An embedding is an injective, label-preserving map from the pattern's
+vertices to the data graph's vertices that maps pattern edges onto data-graph
+edges.  The single-graph setting makes embeddings first-class: support is
+computed from how embeddings overlap, and SpiderMine grows patterns by
+extending their embeddings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from ..graph.labeled_graph import LabeledGraph, Vertex
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """One embedding: an immutable pattern-vertex → data-vertex mapping."""
+
+    mapping: Tuple[Tuple[Vertex, Vertex], ...]
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[Vertex, Vertex]) -> "Embedding":
+        items = tuple(sorted(mapping.items(), key=lambda kv: repr(kv[0])))
+        return cls(mapping=items)
+
+    def to_dict(self) -> Dict[Vertex, Vertex]:
+        return dict(self.mapping)
+
+    def __getitem__(self, pattern_vertex: Vertex) -> Vertex:
+        for p, g in self.mapping:
+            if p == pattern_vertex:
+                return g
+        raise KeyError(pattern_vertex)
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def __iter__(self):
+        return iter(self.mapping)
+
+    @property
+    def image(self) -> FrozenSet[Vertex]:
+        """The data-graph vertices this embedding covers."""
+        return frozenset(g for _, g in self.mapping)
+
+    def edge_image(self, pattern: LabeledGraph) -> FrozenSet[Tuple[Vertex, Vertex]]:
+        """The data-graph edges this embedding covers (normalised endpoint order)."""
+        lookup = dict(self.mapping)
+        edges = set()
+        for u, v in pattern.edges():
+            a, b = lookup[u], lookup[v]
+            if repr(b) < repr(a):
+                a, b = b, a
+            edges.add((a, b))
+        return frozenset(edges)
+
+    def overlaps(self, other: "Embedding") -> bool:
+        """Whether the two embeddings share at least one data-graph vertex."""
+        return bool(self.image & other.image)
+
+    def shares_edge(self, other: "Embedding", pattern: LabeledGraph,
+                    other_pattern: LabeledGraph) -> bool:
+        """Whether the two embeddings cover at least one common data-graph edge."""
+        return bool(self.edge_image(pattern) & other.edge_image(other_pattern))
+
+    def restrict(self, pattern_vertices: Iterable[Vertex]) -> "Embedding":
+        """The sub-embedding on ``pattern_vertices``."""
+        wanted = set(pattern_vertices)
+        return Embedding(mapping=tuple((p, g) for p, g in self.mapping if p in wanted))
+
+    def compose_rename(self, rename: Mapping[Vertex, Vertex]) -> "Embedding":
+        """Rename pattern vertices (used when patterns are canonicalised)."""
+        return Embedding.from_dict({rename[p]: g for p, g in self.mapping})
+
+    def is_injective(self) -> bool:
+        images = [g for _, g in self.mapping]
+        return len(images) == len(set(images))
+
+    def is_valid(self, pattern: LabeledGraph, graph: LabeledGraph) -> bool:
+        """Full validity check: injective, label-preserving, edge-preserving."""
+        lookup = dict(self.mapping)
+        if set(lookup) != set(pattern.vertices()):
+            return False
+        if not self.is_injective():
+            return False
+        for p_vertex, g_vertex in lookup.items():
+            if g_vertex not in graph:
+                return False
+            if pattern.label(p_vertex) != graph.label(g_vertex):
+                return False
+        for u, v in pattern.edges():
+            if not graph.has_edge(lookup[u], lookup[v]):
+                return False
+        return True

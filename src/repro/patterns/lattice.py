@@ -1,0 +1,83 @@
+"""Pattern-lattice utilities: closedness, maximality and containment checks.
+
+SpiderGrow drops non-closed intermediate patterns (a grown pattern with the
+exact same embedding support as its parent supersedes the parent), and the
+final reporting stage of every miner wants maximal patterns.  These helpers
+operate on :class:`repro.patterns.pattern.Pattern` collections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..graph.isomorphism import SubgraphMatcher
+from .pattern import Pattern
+
+
+def is_sub_pattern(candidate: Pattern, container: Pattern) -> bool:
+    """Whether ``candidate`` is (isomorphic to) a subgraph of ``container``."""
+    if candidate.num_vertices > container.num_vertices:
+        return False
+    if candidate.num_edges > container.num_edges:
+        return False
+    container_counts = container.graph.label_counts()
+    for label, needed in candidate.graph.label_counts().items():
+        if container_counts.get(label, 0) < needed:
+            return False
+    return SubgraphMatcher(candidate.graph, container.graph).exists()
+
+
+def filter_maximal_patterns(patterns: Sequence[Pattern]) -> List[Pattern]:
+    """Keep only patterns not contained in a strictly larger pattern of the list.
+
+    O(n²) subgraph checks; the candidate lists this runs on (merged/grown
+    SpiderMine outputs, baseline result sets) are small.
+    """
+    ordered = sorted(patterns, key=lambda p: (p.num_vertices, p.num_edges), reverse=True)
+    maximal: List[Pattern] = []
+    for pattern in ordered:
+        contained = any(
+            (pattern.num_vertices, pattern.num_edges)
+            <= (other.num_vertices, other.num_edges)
+            and pattern.code != other.code
+            and is_sub_pattern(pattern, other)
+            for other in maximal
+        )
+        if not contained:
+            maximal.append(pattern)
+    return maximal
+
+
+def same_support_set(parent: Pattern, child: Pattern) -> bool:
+    """Whether ``child``'s embeddings cover exactly the embeddings of ``parent``.
+
+    This is the non-closedness test of Algorithm 2 line 22 (``Q_sup = P_sup``):
+    every embedding of the parent extends into an embedding of the child, i.e.
+    the parent is not closed and can be dropped.
+    """
+    parent_images = {e.image for e in parent.embeddings}
+    child_images = {e.image for e in child.embeddings}
+    if len(parent_images) != len(child_images):
+        return False
+    # Each child image must contain exactly one parent image (child grew from parent).
+    for child_image in child_images:
+        if not any(parent_image <= child_image for parent_image in parent_images):
+            return False
+    for parent_image in parent_images:
+        if not any(parent_image <= child_image for child_image in child_images):
+            return False
+    return True
+
+
+def group_by_size(patterns: Iterable[Pattern], by: str = "vertices") -> Dict[int, List[Pattern]]:
+    """Bucket patterns by size — the raw material of the paper's histograms."""
+    groups: Dict[int, List[Pattern]] = {}
+    for pattern in patterns:
+        size = pattern.num_vertices if by == "vertices" else pattern.num_edges
+        groups.setdefault(size, []).append(pattern)
+    return dict(sorted(groups.items()))
+
+
+def size_distribution(patterns: Iterable[Pattern], by: str = "vertices") -> Dict[int, int]:
+    """size → number of patterns of that size."""
+    return {size: len(group) for size, group in group_by_size(patterns, by=by).items()}

@@ -1,0 +1,192 @@
+"""A frequent pattern: a small labeled graph plus its embeddings in the data graph.
+
+In the single-graph setting the support set of a pattern *is* its embedding
+set (the paper writes ``P_sup = E[P]``), so a pattern object always carries
+its embeddings.  The canonical code of the pattern graph is cached because it
+is the dictionary key every miner uses to deduplicate candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.algorithms import diameter as graph_diameter
+from ..graph.canonical import canonical_code
+from ..graph.isomorphism import SubgraphMatcher
+from ..graph.labeled_graph import LabeledGraph, Vertex
+from .embedding import Embedding
+
+
+@dataclass
+class Pattern:
+    """A pattern graph together with its known embeddings in the data graph."""
+
+    graph: LabeledGraph
+    embeddings: List[Embedding] = field(default_factory=list)
+    _code: Optional[str] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_subgraph(cls, data_graph: LabeledGraph, vertices: Iterable[Vertex]) -> "Pattern":
+        """The pattern induced by ``vertices`` of the data graph, with the identity embedding."""
+        vertex_list = list(vertices)
+        sub = data_graph.subgraph(vertex_list)
+        embedding = Embedding.from_dict({v: v for v in vertex_list})
+        return cls(graph=sub, embeddings=[embedding])
+
+    @classmethod
+    def single_vertex(cls, label, data_graph: Optional[LabeledGraph] = None) -> "Pattern":
+        """The one-vertex pattern with ``label``; embeddings filled from ``data_graph`` if given."""
+        g = LabeledGraph()
+        g.add_vertex(0, label)
+        embeddings = []
+        if data_graph is not None:
+            embeddings = [
+                Embedding.from_dict({0: v}) for v in sorted(data_graph.vertices_with_label(label), key=repr)
+            ]
+        return cls(graph=g, embeddings=embeddings)
+
+    # ------------------------------------------------------------------ #
+    # size / structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def size(self) -> int:
+        """The paper defines pattern size |P| as the number of edges."""
+        return self.graph.num_edges
+
+    def diameter(self) -> int:
+        return graph_diameter(self.graph)
+
+    @property
+    def code(self) -> str:
+        """Canonical code of the pattern graph (cached)."""
+        if self._code is None:
+            self._code = canonical_code(self.graph)
+        return self._code
+
+    def invalidate_code(self) -> None:
+        """Call after mutating :attr:`graph` in place."""
+        self._code = None
+
+    # ------------------------------------------------------------------ #
+    # embeddings / support
+    # ------------------------------------------------------------------ #
+    @property
+    def support(self) -> int:
+        """Raw embedding count.  Overlap-aware measures live in :mod:`.support`."""
+        return len(self.embeddings)
+
+    def add_embedding(self, embedding: Embedding) -> None:
+        self.embeddings.append(embedding)
+
+    def deduplicate_embeddings(self) -> None:
+        """Drop embeddings whose data-vertex image sets coincide.
+
+        Automorphisms of the pattern generate several mappings onto the same
+        data subgraph; for support purposes these are one occurrence.
+        """
+        seen: Set[FrozenSet[Vertex]] = set()
+        unique: List[Embedding] = []
+        for embedding in self.embeddings:
+            image = embedding.image
+            if image in seen:
+                continue
+            seen.add(image)
+            unique.append(embedding)
+        self.embeddings = unique
+
+    def covered_vertices(self) -> Set[Vertex]:
+        """All data-graph vertices covered by at least one embedding."""
+        covered: Set[Vertex] = set()
+        for embedding in self.embeddings:
+            covered |= embedding.image
+        return covered
+
+    def recompute_embeddings(self, data_graph: LabeledGraph, limit: Optional[int] = None) -> None:
+        """Re-enumerate all embeddings from scratch using the subgraph matcher."""
+        matcher = SubgraphMatcher(self.graph, data_graph)
+        self.embeddings = [
+            Embedding.from_dict(m) for m in matcher.iter_embeddings(limit=limit)
+        ]
+        self.deduplicate_embeddings()
+
+    def verify_embeddings(self, data_graph: LabeledGraph) -> bool:
+        """Whether every stored embedding is a valid embedding of the pattern."""
+        return all(e.is_valid(self.graph, data_graph) for e in self.embeddings)
+
+    # ------------------------------------------------------------------ #
+    # comparisons
+    # ------------------------------------------------------------------ #
+    def is_isomorphic_to(self, other: "Pattern") -> bool:
+        if self.num_vertices != other.num_vertices or self.num_edges != other.num_edges:
+            return False
+        return self.code == other.code
+
+    def contains_pattern(self, other: "Pattern") -> bool:
+        """Whether ``other`` is a subgraph of this pattern (label-preserving)."""
+        if other.num_vertices > self.num_vertices or other.num_edges > self.num_edges:
+            return False
+        return SubgraphMatcher(other.graph, self.graph).exists()
+
+    def copy(self) -> "Pattern":
+        return Pattern(graph=self.graph.copy(), embeddings=list(self.embeddings), _code=self._code)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Pattern(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"embeddings={len(self.embeddings)})"
+        )
+
+
+def sort_patterns_by_size(patterns: Sequence[Pattern], by: str = "vertices") -> List[Pattern]:
+    """Sort patterns largest-first.
+
+    ``by`` is ``"vertices"`` (the paper reports |V| for most figures),
+    ``"edges"`` (the paper's formal |P|), or ``"both"`` (vertices then edges).
+    """
+    if by == "vertices":
+        key = lambda p: (p.num_vertices, p.num_edges)
+    elif by == "edges":
+        key = lambda p: (p.num_edges, p.num_vertices)
+    elif by == "both":
+        key = lambda p: (p.num_vertices + p.num_edges, p.num_vertices)
+    else:
+        raise ValueError(f"unknown sort key {by!r}")
+    return sorted(patterns, key=key, reverse=True)
+
+
+def top_k_patterns(patterns: Sequence[Pattern], k: int, by: str = "vertices") -> List[Pattern]:
+    """The K largest patterns (ties broken deterministically by canonical code)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    ranked = sort_patterns_by_size(patterns, by=by)
+    ranked.sort(key=lambda p: ((-p.num_vertices, -p.num_edges) if by == "vertices"
+                               else (-p.num_edges, -p.num_vertices)))
+    return ranked[:k]
+
+
+def deduplicate_patterns(patterns: Iterable[Pattern]) -> List[Pattern]:
+    """Merge patterns with identical canonical codes, unioning their embeddings."""
+    merged: Dict[str, Pattern] = {}
+    for pattern in patterns:
+        existing = merged.get(pattern.code)
+        if existing is None:
+            merged[pattern.code] = pattern.copy()
+        else:
+            known_images = {e.image for e in existing.embeddings}
+            for embedding in pattern.embeddings:
+                if embedding.image not in known_images:
+                    existing.add_embedding(embedding)
+                    known_images.add(embedding.image)
+    return list(merged.values())

@@ -1,0 +1,180 @@
+"""Support measures for the single-graph setting.
+
+Counting raw embeddings as support is not anti-monotone in a single graph
+(growing a pattern can *increase* the number of embeddings), which breaks the
+downward-closure pruning every miner relies on.  The literature offers three
+fixes, all implemented here:
+
+* ``SupportMeasure.EMBEDDING_IMAGES`` — number of distinct vertex-image sets.
+  Simple, not anti-monotone, but cheap; useful as an upper bound and for the
+  injected-pattern verification in tests.
+* ``SupportMeasure.EDGE_DISJOINT`` — maximum number of pairwise edge-disjoint
+  embeddings (Vanetik, Gudes & Shimony 2002; also used by Kuramochi & Karypis).
+  Anti-monotone.
+* ``SupportMeasure.HARMFUL_OVERLAP`` — maximum independent set on the overlap
+  graph where two embeddings conflict iff they share a *vertex image*
+  (the harmful-overlap measure of Fiedler & Borgelt 2007).  This is the
+  measure SpiderMine adopts ("a different yet more general support
+  definition"), and the default throughout this package.
+
+Both MIS-based measures compute the independent set exactly for small
+embedding collections and fall back to the greedy heuristic (a lower bound,
+hence still safe for pruning) above ``exact_limit`` embeddings.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+
+from ..graph.algorithms import exact_maximum_independent_set, greedy_maximum_independent_set
+from ..graph.labeled_graph import LabeledGraph, Vertex
+from .embedding import Embedding
+from .pattern import Pattern
+
+
+class SupportMeasure(str, Enum):
+    """Which single-graph support definition to use."""
+
+    EMBEDDING_IMAGES = "embedding_images"
+    EDGE_DISJOINT = "edge_disjoint"
+    HARMFUL_OVERLAP = "harmful_overlap"
+
+
+DEFAULT_EXACT_LIMIT = 18
+
+
+def _distinct_images(embeddings: Sequence[Embedding]) -> List[Embedding]:
+    seen: Set[FrozenSet[Vertex]] = set()
+    out: List[Embedding] = []
+    for embedding in embeddings:
+        image = embedding.image
+        if image not in seen:
+            seen.add(image)
+            out.append(embedding)
+    return out
+
+
+def _independent_set_size(
+    conflict: Dict[int, Set[int]],
+    exact_limit: int,
+) -> int:
+    if len(conflict) <= exact_limit:
+        return len(exact_maximum_independent_set(conflict, limit=exact_limit))
+    return len(greedy_maximum_independent_set(conflict))
+
+
+def _overlap_conflicts(
+    embeddings: Sequence[Embedding],
+    pattern_graph: LabeledGraph,
+    edge_based: bool,
+) -> Dict[int, Set[int]]:
+    """Conflict graph over embedding indices (edge- or vertex-overlap)."""
+    conflict: Dict[int, Set[int]] = {i: set() for i in range(len(embeddings))}
+    if edge_based:
+        images = [e.edge_image(pattern_graph) for e in embeddings]
+    else:
+        images = [e.image for e in embeddings]
+    for i in range(len(embeddings)):
+        for j in range(i + 1, len(embeddings)):
+            if images[i] & images[j]:
+                conflict[i].add(j)
+                conflict[j].add(i)
+    return conflict
+
+
+def embedding_image_support(embeddings: Sequence[Embedding]) -> int:
+    """Number of distinct vertex-image sets among the embeddings."""
+    return len(_distinct_images(embeddings))
+
+
+def edge_disjoint_support(
+    embeddings: Sequence[Embedding],
+    pattern_graph: LabeledGraph,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> int:
+    """Maximum number of pairwise edge-disjoint embeddings."""
+    distinct = _distinct_images(embeddings)
+    if not distinct:
+        return 0
+    if pattern_graph.num_edges == 0:
+        # Single-vertex pattern: embeddings cannot share an edge; vertex-distinct
+        # images are automatically edge-disjoint.
+        return len(distinct)
+    conflict = _overlap_conflicts(distinct, pattern_graph, edge_based=True)
+    return _independent_set_size(conflict, exact_limit)
+
+
+def harmful_overlap_support(
+    embeddings: Sequence[Embedding],
+    pattern_graph: LabeledGraph,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> int:
+    """Maximum number of pairwise vertex-disjoint embeddings (harmful-overlap MIS)."""
+    distinct = _distinct_images(embeddings)
+    if not distinct:
+        return 0
+    conflict = _overlap_conflicts(distinct, pattern_graph, edge_based=False)
+    return _independent_set_size(conflict, exact_limit)
+
+
+def compute_support(
+    pattern: Pattern,
+    measure: SupportMeasure = SupportMeasure.HARMFUL_OVERLAP,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> int:
+    """Support of ``pattern`` under ``measure`` using its stored embeddings."""
+    if measure is SupportMeasure.EMBEDDING_IMAGES:
+        return embedding_image_support(pattern.embeddings)
+    if measure is SupportMeasure.EDGE_DISJOINT:
+        return edge_disjoint_support(pattern.embeddings, pattern.graph, exact_limit)
+    if measure is SupportMeasure.HARMFUL_OVERLAP:
+        return harmful_overlap_support(pattern.embeddings, pattern.graph, exact_limit)
+    raise ValueError(f"unknown support measure {measure!r}")
+
+
+def is_frequent(
+    pattern: Pattern,
+    min_support: int,
+    measure: SupportMeasure = SupportMeasure.HARMFUL_OVERLAP,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> bool:
+    """Whether the pattern meets ``min_support`` under ``measure``.
+
+    Short-circuits: the raw embedding count is an upper bound on every
+    overlap-aware measure, so if it is already below the threshold the MIS
+    computation is skipped.
+    """
+    if min_support <= 0:
+        return True
+    if len(pattern.embeddings) < min_support:
+        return False
+    if measure is SupportMeasure.EMBEDDING_IMAGES:
+        return embedding_image_support(pattern.embeddings) >= min_support
+    # For MIS measures, first check the cheap upper bound (distinct images).
+    distinct = _distinct_images(pattern.embeddings)
+    if len(distinct) < min_support:
+        return False
+    return compute_support(pattern, measure=measure, exact_limit=exact_limit) >= min_support
+
+
+def select_disjoint_embeddings(
+    embeddings: Sequence[Embedding],
+    pattern_graph: LabeledGraph,
+    edge_based: bool = False,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> List[Embedding]:
+    """A maximum (or greedy-maximal) set of pairwise disjoint embeddings.
+
+    ``edge_based=False`` gives vertex-disjoint embeddings (harmful-overlap
+    witnesses), ``True`` gives edge-disjoint ones.
+    """
+    distinct = _distinct_images(embeddings)
+    if not distinct:
+        return []
+    conflict = _overlap_conflicts(distinct, pattern_graph, edge_based=edge_based)
+    if len(conflict) <= exact_limit:
+        chosen = exact_maximum_independent_set(conflict, limit=exact_limit)
+    else:
+        chosen = greedy_maximum_independent_set(conflict)
+    return [distinct[i] for i in sorted(chosen)]

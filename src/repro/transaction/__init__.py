@@ -1,0 +1,12 @@
+"""Graph-transaction setting: graph databases, transaction support and the SpiderMine adapter."""
+
+from .database import GraphDatabase, database_from_graphs, union_as_single_graph
+from .adapter import TransactionMiningResult, mine_transaction_top_k
+
+__all__ = [
+    "GraphDatabase",
+    "database_from_graphs",
+    "union_as_single_graph",
+    "TransactionMiningResult",
+    "mine_transaction_top_k",
+]

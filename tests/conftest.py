@@ -1,0 +1,104 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small, deterministic graphs so every test is reproducible and
+fast; the heavier end-to-end fixtures are session-scoped so mining runs are
+shared across the tests that inspect them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.graph import LabeledGraph, synthetic_single_graph  # noqa: E402
+from repro.core import SpiderMine, SpiderMineConfig  # noqa: E402
+
+
+def build_triangle(labels=("A", "B", "C")) -> LabeledGraph:
+    graph = LabeledGraph()
+    for i, label in enumerate(labels):
+        graph.add_vertex(i, label)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+def build_path(labels) -> LabeledGraph:
+    graph = LabeledGraph()
+    for i, label in enumerate(labels):
+        graph.add_vertex(i, label)
+    for i in range(len(labels) - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def build_star(center_label="H", leaf_labels=("A", "B", "C")) -> LabeledGraph:
+    graph = LabeledGraph()
+    graph.add_vertex(0, center_label)
+    for i, label in enumerate(leaf_labels, start=1):
+        graph.add_vertex(i, label)
+        graph.add_edge(0, i)
+    return graph
+
+
+@pytest.fixture
+def triangle() -> LabeledGraph:
+    return build_triangle()
+
+
+@pytest.fixture
+def path4() -> LabeledGraph:
+    return build_path(["A", "B", "C", "D"])
+
+
+@pytest.fixture
+def star3() -> LabeledGraph:
+    return build_star()
+
+
+@pytest.fixture
+def two_copy_graph() -> LabeledGraph:
+    """Two disjoint copies of the same labeled triangle plus an isolated vertex."""
+    graph = LabeledGraph()
+    for base in (0, 10):
+        graph.add_vertex(base + 0, "A")
+        graph.add_vertex(base + 1, "B")
+        graph.add_vertex(base + 2, "C")
+        graph.add_edge(base + 0, base + 1)
+        graph.add_edge(base + 1, base + 2)
+        graph.add_edge(base + 0, base + 2)
+    graph.add_vertex(99, "Z")
+    return graph
+
+
+@pytest.fixture(scope="session")
+def planted_dataset():
+    """A small synthetic single graph with two planted 10-vertex patterns."""
+    return synthetic_single_graph(
+        num_vertices=120,
+        num_labels=30,
+        average_degree=2.0,
+        num_large_patterns=2,
+        large_pattern_vertices=10,
+        large_pattern_support=2,
+        num_small_patterns=2,
+        small_pattern_vertices=3,
+        small_pattern_support=2,
+        seed=5,
+        max_pattern_diameter=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def spidermine_result(planted_dataset):
+    """A completed SpiderMine run on the planted dataset (shared across tests)."""
+    config = SpiderMineConfig(min_support=2, k=5, d_max=6, seed=0)
+    return SpiderMine(planted_dataset.graph, config).mine()

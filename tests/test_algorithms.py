@@ -1,0 +1,185 @@
+"""Unit tests for the classic graph algorithms used by the miners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    LabeledGraph,
+    bfs_distances,
+    center_vertices,
+    connected_components,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    effective_diameter,
+    exact_maximum_independent_set,
+    graph_radius,
+    greedy_maximum_independent_set,
+    is_connected,
+    is_r_bounded_from,
+    radius_from,
+    shortest_path_length,
+    spanning_tree_edges,
+    triangles,
+)
+from tests.conftest import build_path, build_star, build_triangle
+
+
+class TestDistances:
+    def test_bfs_distances_path(self, path4):
+        assert bfs_distances(path4, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_bfs_distances_missing_source(self, path4):
+        with pytest.raises(GraphError):
+            bfs_distances(path4, 9)
+
+    def test_shortest_path_length(self, path4):
+        assert shortest_path_length(path4, 0, 3) == 3
+        assert shortest_path_length(path4, 2, 2) == 0
+
+    def test_shortest_path_disconnected_raises(self):
+        graph = LabeledGraph()
+        graph.add_vertex(0, "A")
+        graph.add_vertex(1, "B")
+        with pytest.raises(GraphError):
+            shortest_path_length(graph, 0, 1)
+
+    def test_shortest_path_missing_target_raises(self, path4):
+        with pytest.raises(GraphError):
+            shortest_path_length(path4, 0, 99)
+
+
+class TestComponentsAndConnectivity:
+    def test_connected_components_sizes(self, two_copy_graph):
+        components = connected_components(two_copy_graph)
+        assert sorted(len(c) for c in components) == [1, 3, 3]
+        assert len(components[0]) == 3  # largest first
+
+    def test_is_connected(self, triangle, two_copy_graph):
+        assert is_connected(triangle)
+        assert not is_connected(two_copy_graph)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(LabeledGraph())
+
+
+class TestDiameterFamily:
+    def test_diameter_path(self, path4):
+        assert diameter(path4) == 3
+
+    def test_diameter_triangle(self, triangle):
+        assert diameter(triangle) == 1
+
+    def test_diameter_empty(self):
+        assert diameter(LabeledGraph()) == 0
+
+    def test_eccentricity(self, path4):
+        assert eccentricity(path4, 0) == 3
+        assert eccentricity(path4, 1) == 2
+
+    def test_eccentricity_disconnected_raises(self, two_copy_graph):
+        with pytest.raises(GraphError):
+            eccentricity(two_copy_graph, 0)
+
+    def test_graph_radius_and_center(self, path4):
+        assert graph_radius(path4) == 2
+        assert set(center_vertices(path4)) == {1, 2}
+
+    def test_radius_from(self, star3):
+        assert radius_from(star3, 0) == 1
+        assert radius_from(star3, 1) == 2
+
+    def test_center_of_empty_graph(self):
+        assert center_vertices(LabeledGraph()) == []
+        assert graph_radius(LabeledGraph()) == 0
+
+    def test_is_r_bounded_from(self, star3, path4):
+        assert is_r_bounded_from(star3, 0, 1)
+        assert not is_r_bounded_from(star3, 1, 1)
+        assert is_r_bounded_from(path4, 0, 3)
+        assert not is_r_bounded_from(path4, 0, 2)
+
+    def test_is_r_bounded_disconnected(self, two_copy_graph):
+        assert not is_r_bounded_from(two_copy_graph, 0, 10)
+
+    def test_is_r_bounded_missing_vertex(self, star3):
+        with pytest.raises(GraphError):
+            is_r_bounded_from(star3, 99, 1)
+
+    def test_effective_diameter_bounds_diameter(self, path4):
+        eff = effective_diameter(path4, percentile=0.9)
+        assert 1 <= eff <= diameter(path4)
+
+    def test_effective_diameter_full_percentile(self, path4):
+        assert effective_diameter(path4, percentile=1.0) == diameter(path4)
+
+    def test_effective_diameter_invalid_percentile(self, path4):
+        with pytest.raises(ValueError):
+            effective_diameter(path4, percentile=0.0)
+
+    def test_effective_diameter_empty(self):
+        assert effective_diameter(LabeledGraph()) == 0
+
+    def test_effective_diameter_sampled(self, planted_dataset):
+        graph = planted_dataset.graph
+        value = effective_diameter(graph, percentile=0.9, sample_size=10)
+        assert value >= 0
+
+
+class TestCountsAndStructures:
+    def test_triangle_count(self, triangle, path4):
+        assert triangles(triangle) == 1
+        assert triangles(path4) == 0
+
+    def test_degree_histogram(self, star3):
+        assert degree_histogram(star3) == {3: 1, 1: 3}
+
+    def test_spanning_tree_connected(self, triangle):
+        edges = spanning_tree_edges(triangle)
+        assert len(edges) == 2
+
+    def test_spanning_tree_forest(self, two_copy_graph):
+        edges = spanning_tree_edges(two_copy_graph)
+        # 7 vertices in 3 components -> 4 forest edges.
+        assert len(edges) == two_copy_graph.num_vertices - 3
+
+    def test_spanning_tree_root_first(self, path4):
+        edges = spanning_tree_edges(path4, root=3)
+        assert edges[0][0] == 3
+
+
+class TestIndependentSets:
+    def test_exact_mis_triangle_conflict(self):
+        adjacency = {1: {2, 3}, 2: {1, 3}, 3: {1, 2}}
+        assert len(exact_maximum_independent_set(adjacency)) == 1
+
+    def test_exact_mis_path_conflict(self):
+        adjacency = {1: {2}, 2: {1, 3}, 3: {2, 4}, 4: {3}}
+        assert len(exact_maximum_independent_set(adjacency)) == 2
+
+    def test_exact_mis_no_conflicts(self):
+        adjacency = {i: set() for i in range(5)}
+        assert len(exact_maximum_independent_set(adjacency)) == 5
+
+    def test_exact_mis_respects_limit(self):
+        adjacency = {i: set() for i in range(30)}
+        with pytest.raises(ValueError):
+            exact_maximum_independent_set(adjacency, limit=20)
+
+    def test_greedy_mis_is_independent(self):
+        adjacency = {1: {2}, 2: {1, 3}, 3: {2, 4}, 4: {3}, 5: set()}
+        chosen = greedy_maximum_independent_set(adjacency)
+        for u in chosen:
+            assert not (adjacency[u] & chosen)
+
+    def test_greedy_mis_lower_bounds_exact(self):
+        adjacency = {1: {2}, 2: {1, 3}, 3: {2, 4}, 4: {3}}
+        greedy = greedy_maximum_independent_set(adjacency)
+        exact = exact_maximum_independent_set(adjacency)
+        assert len(greedy) <= len(exact)
+        assert len(greedy) >= 1
+
+    def test_greedy_mis_empty(self):
+        assert greedy_maximum_independent_set({}) == set()

@@ -1,0 +1,149 @@
+"""Unit tests for the analysis helpers (distributions, runtime tables, records)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    DID_NOT_FINISH,
+    ExperimentRecord,
+    RuntimeTable,
+    SeriesReport,
+    SizeDistributionComparison,
+    recovery_rate,
+    summarize_results,
+    top_sizes,
+)
+from repro.core import MiningResult
+from repro.patterns import Pattern
+from tests.conftest import build_path, build_star, build_triangle
+
+
+def result_with_sizes(name: str, vertex_sizes) -> MiningResult:
+    patterns = []
+    for size in vertex_sizes:
+        labels = [f"L{i}" for i in range(size)]
+        patterns.append(Pattern(graph=build_path(labels)))
+    return MiningResult(algorithm=name, patterns=patterns, runtime_seconds=0.5)
+
+
+class TestSizeDistributionComparison:
+    def test_add_and_rows(self):
+        comparison = SizeDistributionComparison()
+        comparison.add(result_with_sizes("SpiderMine", [10, 10, 3]))
+        comparison.add(result_with_sizes("SUBDUE", [3, 3, 2]))
+        rows = comparison.rows()
+        assert {row["size"] for row in rows} == {2, 3, 10}
+        row10 = next(r for r in rows if r["size"] == 10)
+        assert row10["SpiderMine"] == 2
+        assert row10["SUBDUE"] == 0
+
+    def test_add_raw(self):
+        comparison = SizeDistributionComparison()
+        comparison.add_raw("X", {5: 3})
+        assert comparison.largest_size("X") == 5
+
+    def test_largest_and_count_at_least(self):
+        comparison = SizeDistributionComparison()
+        comparison.add(result_with_sizes("A", [10, 8, 3]))
+        assert comparison.largest_size("A") == 10
+        assert comparison.count_at_least("A", 8) == 2
+        assert comparison.largest_size("missing") == 0
+
+    def test_to_text_contains_all_algorithms(self):
+        comparison = SizeDistributionComparison()
+        comparison.add(result_with_sizes("A", [4]))
+        comparison.add(result_with_sizes("B", [2]))
+        text = comparison.to_text("title")
+        assert "title" in text and "A" in text and "B" in text
+
+    def test_by_edges(self):
+        comparison = SizeDistributionComparison(by="edges")
+        comparison.add(result_with_sizes("A", [4]))   # 3 edges
+        assert comparison.sizes() == [3]
+
+
+class TestTopSizesAndRecovery:
+    def test_top_sizes_descending(self):
+        result = result_with_sizes("A", [3, 10, 7])
+        assert top_sizes(result, 2) == [10, 7]
+
+    def test_recovery_rate_full(self):
+        result = result_with_sizes("A", [10, 12])
+        assert recovery_rate(result, [10, 13]) == pytest.approx(0.5)
+        assert recovery_rate(result, [10, 13], tolerance=1) == pytest.approx(1.0)
+
+    def test_recovery_rate_empty_planted(self):
+        assert recovery_rate(result_with_sizes("A", [3]), []) == 1.0
+
+    def test_recovery_rate_zero(self):
+        assert recovery_rate(result_with_sizes("A", [3]), [30]) == 0.0
+
+
+class TestRuntimeTable:
+    def test_record_and_text(self):
+        table = RuntimeTable()
+        table.record("GID1", "SpiderMine", 0.5)
+        table.record("GID1", "MoSS", None)
+        text = table.to_text()
+        assert "GID1" in text
+        assert DID_NOT_FINISH in text
+        assert table.rows["GID1"]["MoSS"] == DID_NOT_FINISH
+
+    def test_record_result(self):
+        table = RuntimeTable()
+        table.record_result("D", result_with_sizes("A", [3]))
+        assert table.rows["D"]["A"] == 0.5
+        table.record_result("D", result_with_sizes("B", [3]), completed=False)
+        assert table.rows["D"]["B"] == DID_NOT_FINISH
+
+    def test_algorithm_order_stable(self):
+        table = RuntimeTable()
+        table.record("D1", "Z", 1.0)
+        table.record("D1", "A", 2.0)
+        table.record("D2", "A", 3.0)
+        assert table.algorithms() == ["Z", "A"]
+
+
+class TestSeriesReport:
+    def test_add_and_column(self):
+        series = SeriesReport(x_label="|V|")
+        series.add_point(100, runtime=1.0, largest=10)
+        series.add_point(200, runtime=2.5, largest=20)
+        assert series.column("runtime") == [1.0, 2.5]
+        assert series.column("|V|") == [100, 200]
+
+    def test_to_text(self):
+        series = SeriesReport(x_label="size")
+        series.add_point(10, runtime=0.1)
+        text = series.to_text("Figure 11")
+        assert "Figure 11" in text and "runtime" in text
+
+    def test_to_text_empty(self):
+        assert "(empty)" in SeriesReport(x_label="x").to_text("t")
+
+
+class TestExperimentRecord:
+    def test_roundtrip_json(self, tmp_path):
+        record = ExperimentRecord(
+            experiment_id="fig4",
+            description="pattern distribution GID1",
+            parameters={"sigma": 2},
+        )
+        record.add_measurement(algorithm="SpiderMine", size=30, count=10)
+        path = record.save(tmp_path)
+        loaded = json.loads(path.read_text())
+        assert loaded["experiment_id"] == "fig4"
+        assert loaded["measurements"][0]["size"] == 30
+
+    def test_to_dict(self):
+        record = ExperimentRecord(experiment_id="x", description="d")
+        assert record.to_dict()["description"] == "d"
+
+
+class TestSummaries:
+    def test_summarize_results(self):
+        text = summarize_results([result_with_sizes("A", [3]), result_with_sizes("B", [4])])
+        assert "A:" in text and "B:" in text

@@ -1,0 +1,178 @@
+"""Unit tests for the single-graph baselines: SUBDUE, SEuS, MoSS, GREW."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    Moss,
+    MossConfig,
+    Seus,
+    SeusConfig,
+    Subdue,
+    SubdueConfig,
+    SummaryGraph,
+    run_grew,
+    run_moss,
+    run_seus,
+    run_subdue,
+)
+from repro.graph import LabeledGraph, subgraph_exists
+from tests.conftest import build_path
+
+
+def repeated_motif_graph(copies: int = 3) -> LabeledGraph:
+    """``copies`` disjoint copies of a 4-vertex motif plus some noise edges."""
+    graph = LabeledGraph()
+    for c in range(copies):
+        base = 10 * c
+        graph.add_vertex(base + 0, "A")
+        graph.add_vertex(base + 1, "B")
+        graph.add_vertex(base + 2, "C")
+        graph.add_vertex(base + 3, "D")
+        graph.add_edge(base + 0, base + 1)
+        graph.add_edge(base + 1, base + 2)
+        graph.add_edge(base + 2, base + 3)
+        graph.add_edge(base + 0, base + 2)
+    # Noise: a couple of vertices with unique labels.
+    graph.add_vertex(900, "X")
+    graph.add_vertex(901, "Y")
+    graph.add_edge(900, 901)
+    return graph
+
+
+class TestSubdue:
+    def test_finds_repeated_motif_structure(self):
+        graph = repeated_motif_graph()
+        result = run_subdue(graph, num_best=5)
+        assert result.algorithm == "SUBDUE"
+        assert result.patterns
+        best = result.patterns[0]
+        # The best-compressing substructure must occur inside the motif copies.
+        assert subgraph_exists(best.graph, graph)
+        assert best.num_vertices >= 2
+
+    def test_num_best_respected(self):
+        result = run_subdue(repeated_motif_graph(), num_best=3)
+        assert len(result.patterns) <= 3
+
+    def test_prefers_frequent_small_over_rare_large(self):
+        """The paper's observation: SUBDUE output shifts toward small patterns
+        when small patterns are highly frequent."""
+        graph = repeated_motif_graph(copies=2)
+        # Add a very frequent tiny motif (E-F edge, 8 copies).
+        for i in range(8):
+            graph.add_vertex(500 + 2 * i, "E")
+            graph.add_vertex(501 + 2 * i, "F")
+            graph.add_edge(500 + 2 * i, 501 + 2 * i)
+        result = run_subdue(graph, num_best=1)
+        labels = set(result.patterns[0].graph.label_set())
+        assert labels <= {"E", "F"}
+
+    def test_min_instances_filter(self):
+        graph = repeated_motif_graph(copies=2)
+        result = Subdue(graph, SubdueConfig(min_instances=3, num_best=5)).mine()
+        # Motif-only structures appear twice; with min_instances=3 only
+        # sub-structures occurring three times (single labels/edges across noise)
+        # can be reported; the 4-vertex motif cannot.
+        assert all(p.num_vertices < 4 for p in result.patterns)
+
+    def test_runtime_recorded(self):
+        result = run_subdue(repeated_motif_graph(), num_best=2)
+        assert result.runtime_seconds > 0
+
+
+class TestSeus:
+    def test_summary_graph_counts(self):
+        graph = repeated_motif_graph(copies=2)
+        summary = SummaryGraph(graph)
+        assert summary.vertex_bound("A") == 2
+        assert summary.edge_bound("A", "B") == 2
+        assert summary.edge_bound("A", "D") == 0
+
+    def test_summary_pattern_bound(self):
+        graph = repeated_motif_graph(copies=2)
+        summary = SummaryGraph(graph)
+        pattern = build_path(["A", "B", "C"])
+        assert summary.pattern_bound(pattern) == 2
+        rare = build_path(["A", "X"])
+        assert summary.pattern_bound(rare) == 0
+
+    def test_finds_frequent_patterns(self):
+        graph = repeated_motif_graph()
+        result = run_seus(graph, min_support=2)
+        assert result.algorithm == "SEuS"
+        assert result.patterns
+        for pattern in result.patterns:
+            assert subgraph_exists(pattern.graph, graph)
+
+    def test_returns_small_structures(self):
+        """The paper: SEuS returns mostly small structures."""
+        graph = repeated_motif_graph()
+        result = Seus(graph, SeusConfig(min_support=2, max_pattern_edges=4)).mine()
+        assert result.largest_size_vertices <= 5
+
+    def test_support_threshold_prunes(self):
+        graph = repeated_motif_graph(copies=2)
+        loose = run_seus(graph, min_support=2)
+        strict = run_seus(graph, min_support=3)
+        assert len(strict.patterns) <= len(loose.patterns)
+
+
+class TestMoss:
+    def test_complete_enumeration_on_tiny_graph(self, two_copy_graph):
+        result = run_moss(two_copy_graph, min_support=2, max_edges=3)
+        # Frequent patterns in two disjoint triangles: A-B, B-C, A-C edges,
+        # three 2-edge paths, and the triangle itself (plus nothing else).
+        assert result.parameters["completed"] is True
+        assert len(result.patterns) == 7
+
+    def test_finds_largest_pattern(self, two_copy_graph):
+        result = run_moss(two_copy_graph, min_support=2, max_edges=4)
+        assert result.largest_size_vertices == 3
+
+    def test_time_budget_marks_incomplete(self):
+        graph = repeated_motif_graph(copies=4)
+        result = run_moss(graph, min_support=2, max_edges=30, time_budget_seconds=0.0)
+        assert result.parameters["completed"] is False
+
+    def test_max_edges_budget(self):
+        graph = repeated_motif_graph()
+        result = run_moss(graph, min_support=2, max_edges=2)
+        assert all(p.num_edges <= 2 for p in result.patterns)
+
+    def test_patterns_meet_support(self, two_copy_graph):
+        result = run_moss(two_copy_graph, min_support=2, max_edges=3)
+        for pattern in result.patterns:
+            assert len(pattern.embeddings) >= 2
+
+    def test_closed_only_filter(self, two_copy_graph):
+        config = MossConfig(min_support=2, max_edges=3, closed_only=True)
+        result = Moss(two_copy_graph, config).mine()
+        # Only the triangle is closed: every smaller pattern has a superpattern
+        # with identical support.
+        assert len(result.patterns) == 1
+        assert result.patterns[0].num_edges == 3
+
+
+class TestGrew:
+    def test_finds_vertex_disjoint_motifs(self):
+        graph = repeated_motif_graph()
+        result = run_grew(graph, min_support=2)
+        assert result.algorithm == "GREW"
+        assert result.patterns
+        for pattern in result.patterns:
+            assert subgraph_exists(pattern.graph, graph)
+
+    def test_iterative_merging_grows_patterns(self):
+        graph = repeated_motif_graph(copies=4)
+        shallow = run_grew(graph, min_support=2, max_iterations=1)
+        deep = run_grew(graph, min_support=2, max_iterations=6)
+        assert deep.largest_size_vertices >= shallow.largest_size_vertices
+
+    def test_min_support_respected(self):
+        graph = repeated_motif_graph(copies=2)
+        result = run_grew(graph, min_support=3)
+        # Only structures with >= 3 vertex-disjoint instances can be reported;
+        # the motif itself appears only twice.
+        assert all(p.num_vertices < 4 for p in result.patterns)

@@ -1,0 +1,97 @@
+"""Unit tests for the transaction-setting baselines: ORIGAMI and gSpan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import Origami, OrigamiConfig, run_gspan, run_origami
+from repro.graph import LabeledGraph, subgraph_exists
+from repro.transaction import GraphDatabase
+from tests.conftest import build_path, build_star, build_triangle
+
+
+def small_database() -> GraphDatabase:
+    """Four transactions, each containing an A-B-C triangle; two also contain a D-E edge."""
+    graphs = []
+    for i in range(4):
+        graph = build_triangle(("A", "B", "C"))
+        if i < 2:
+            graph.add_vertex(10, "D")
+            graph.add_vertex(11, "E")
+            graph.add_edge(10, 11)
+        graphs.append(graph)
+    return GraphDatabase(graphs=graphs)
+
+
+class TestGSpan:
+    def test_complete_enumeration(self):
+        database = small_database()
+        result = run_gspan(database, min_support=4, max_edges=4)
+        assert result.algorithm == "gSpan"
+        assert result.parameters["completed"] is True
+        codes = {p.code for p in result.patterns}
+        # The triangle and all of its connected subpatterns are frequent in
+        # every transaction: 3 edges, 3 paths, 1 triangle.
+        assert len(codes) == 7
+
+    def test_support_threshold(self):
+        database = small_database()
+        everything = run_gspan(database, min_support=2, max_edges=2)
+        frequent_only = run_gspan(database, min_support=4, max_edges=2)
+        assert len(frequent_only.patterns) < len(everything.patterns)
+
+    def test_de_edge_found_at_low_support(self):
+        database = small_database()
+        result = run_gspan(database, min_support=2, max_edges=1)
+        labels = {frozenset(p.graph.label_set()) for p in result.patterns}
+        assert frozenset({"D", "E"}) in labels
+
+    def test_time_budget_marks_incomplete(self):
+        database = small_database()
+        result = run_gspan(database, min_support=2, max_edges=20, time_budget_seconds=0.0)
+        assert result.parameters["completed"] is False
+
+    def test_patterns_sorted_largest_first(self):
+        result = run_gspan(small_database(), min_support=4, max_edges=4)
+        sizes = [p.num_edges for p in result.patterns]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestOrigami:
+    def test_walks_reach_maximal_patterns(self):
+        database = small_database()
+        result = run_origami(database, min_support=4, num_walks=10, seed=1)
+        assert result.algorithm == "ORIGAMI"
+        assert result.patterns
+        # A maximal frequent pattern here is the triangle itself.
+        assert result.largest_size_vertices == 3
+
+    def test_patterns_are_frequent(self):
+        database = small_database()
+        result = run_origami(database, min_support=2, num_walks=10, seed=2)
+        for pattern in result.patterns:
+            assert database.transaction_support(pattern.graph) >= 2
+
+    def test_deterministic_with_seed(self):
+        database = small_database()
+        first = run_origami(database, min_support=2, num_walks=8, seed=3)
+        second = run_origami(database, min_support=2, num_walks=8, seed=3)
+        assert [p.code for p in first.patterns] == [p.code for p in second.patterns]
+
+    def test_alpha_controls_orthogonality(self):
+        database = small_database()
+        strict = Origami(database, OrigamiConfig(min_support=2, num_walks=12, alpha=0.0, seed=4)).mine()
+        loose = Origami(database, OrigamiConfig(min_support=2, num_walks=12, alpha=1.0, seed=4)).mine()
+        assert len(strict.patterns) <= len(loose.patterns)
+
+    def test_empty_database(self):
+        result = run_origami(GraphDatabase(graphs=[LabeledGraph()]), min_support=1, num_walks=3)
+        assert result.patterns == []
+
+    def test_similarity_measure(self):
+        database = small_database()
+        miner = Origami(database)
+        tri = build_triangle(("A", "B", "C"))
+        assert miner._similarity(tri, tri.copy()) == pytest.approx(1.0)
+        other = build_path(["D", "E"])
+        assert miner._similarity(tri, other) == pytest.approx(0.0)

@@ -1,0 +1,105 @@
+"""Unit tests for canonical labeling of labeled graphs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import (
+    LabeledGraph,
+    are_isomorphic,
+    are_isomorphic_by_code,
+    canonical_code,
+    canonical_form,
+    canonical_order,
+)
+from tests.conftest import build_path, build_star, build_triangle
+
+
+def shuffled_copy(graph: LabeledGraph, seed: int) -> LabeledGraph:
+    """An isomorphic copy of ``graph`` with randomly permuted vertex names."""
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    new_names = list(range(100, 100 + len(vertices)))
+    rng.shuffle(new_names)
+    mapping = dict(zip(vertices, new_names))
+    return graph.relabeled(mapping)
+
+
+class TestCanonicalCode:
+    def test_code_is_deterministic(self, triangle):
+        assert canonical_code(triangle) == canonical_code(triangle)
+
+    def test_isomorphic_graphs_share_code(self, triangle):
+        for seed in range(5):
+            assert canonical_code(shuffled_copy(triangle, seed)) == canonical_code(triangle)
+
+    def test_different_labels_different_code(self):
+        a = build_triangle(("A", "B", "C"))
+        b = build_triangle(("A", "B", "D"))
+        assert canonical_code(a) != canonical_code(b)
+
+    def test_different_structure_different_code(self):
+        path = build_path(["A", "A", "A"])
+        tri = build_triangle(("A", "A", "A"))
+        assert canonical_code(path) != canonical_code(tri)
+
+    def test_empty_graph_code(self):
+        assert canonical_code(LabeledGraph()) == "|"
+
+    def test_single_vertex_code_contains_label(self):
+        graph = LabeledGraph()
+        graph.add_vertex("x", "Hub")
+        assert "Hub" in canonical_code(graph)
+
+    def test_symmetric_star_code_stable(self):
+        star = build_star("H", ("L",) * 6)
+        for seed in range(4):
+            assert canonical_code(shuffled_copy(star, seed)) == canonical_code(star)
+
+    def test_code_distinguishes_star_sizes(self):
+        assert canonical_code(build_star("H", ("L",) * 3)) != canonical_code(
+            build_star("H", ("L",) * 4)
+        )
+
+
+class TestCanonicalFormAndOrder:
+    def test_canonical_form_is_isomorphic(self, triangle):
+        form = canonical_form(triangle)
+        assert are_isomorphic(form, triangle)
+        assert set(form.vertices()) == {0, 1, 2}
+
+    def test_canonical_form_identical_across_copies(self, path4):
+        forms = [canonical_form(shuffled_copy(path4, s)) for s in range(3)]
+        first = forms[0]
+        for other in forms[1:]:
+            assert first == other
+
+    def test_canonical_order_covers_all_vertices(self, star3):
+        order = canonical_order(star3)
+        assert sorted(order) == sorted(star3.vertices())
+
+    def test_canonical_order_empty(self):
+        assert canonical_order(LabeledGraph()) == []
+
+
+class TestIsomorphismByCode:
+    def test_matches_vf2_on_small_graphs(self):
+        graphs = [
+            build_triangle(("A", "A", "B")),
+            build_path(["A", "B", "A"]),
+            build_star("A", ("B", "B")),
+            build_path(["A", "A", "B"]),
+        ]
+        for i, g in enumerate(graphs):
+            for j, h in enumerate(graphs):
+                assert are_isomorphic_by_code(g, h) == are_isomorphic(g, h), (i, j)
+
+    def test_quick_rejection_on_size(self, triangle, path4):
+        assert not are_isomorphic_by_code(triangle, path4)
+
+    def test_quick_rejection_on_labels(self):
+        a = build_path(["A", "B"])
+        b = build_path(["A", "C"])
+        assert not are_isomorphic_by_code(a, b)

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import LabeledGraph, io as graph_io
+from tests.conftest import build_triangle
+
+
+@pytest.fixture
+def tiny_graph_file(tmp_path) -> Path:
+    """A small graph file with two disjoint labeled triangles."""
+    graph = LabeledGraph()
+    for base in (0, 10):
+        graph.add_vertex(base + 0, "A")
+        graph.add_vertex(base + 1, "B")
+        graph.add_vertex(base + 2, "C")
+        graph.add_edge(base + 0, base + 1)
+        graph.add_edge(base + 1, base + 2)
+        graph.add_edge(base + 0, base + 2)
+    path = tmp_path / "tiny.lg"
+    graph_io.write_lg([graph], path)
+    return path
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["mine", "g.lg", "--support", "3", "-k", "4"])
+        assert args.command == "mine"
+        assert args.support == 3
+        assert args.k == 4
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "2", "out.lg"])
+        assert args.gid == 2
+        assert args.scale == 1.0
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMineCommand:
+    def test_mine_runs_and_prints(self, tiny_graph_file, capsys):
+        code = main(["mine", str(tiny_graph_file), "--support", "2", "-k", "2", "--dmax", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SpiderMine" in out
+        assert "#1" in out
+
+    def test_mine_writes_output(self, tiny_graph_file, tmp_path, capsys):
+        out_file = tmp_path / "patterns.json"
+        code = main([
+            "mine", str(tiny_graph_file), "--support", "2", "-k", "1", "--dmax", "2",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        saved = graph_io.read_json(out_file)
+        assert saved
+        assert saved[0].num_vertices >= 2
+
+    def test_missing_file_errors(self):
+        with pytest.raises(SystemExit):
+            main(["mine", "does-not-exist.lg"])
+
+
+class TestGenerateCommand:
+    def test_generate_writes_lg(self, tmp_path, capsys):
+        out = tmp_path / "gid1.lg"
+        code = main(["generate", "1", str(out), "--scale", "0.3", "--seed", "1"])
+        assert code == 0
+        graphs = graph_io.read_lg(out)
+        assert graphs[0].num_vertices == 120
+        printed = capsys.readouterr().out
+        assert "GID 1" in printed
+        # The second line is JSON describing the planted patterns.
+        planted = json.loads(printed.strip().splitlines()[-1])
+        assert "large_sizes" in planted
+
+
+class TestSpidersCommand:
+    def test_spider_statistics(self, tiny_graph_file, capsys):
+        code = main(["spiders", str(tiny_graph_file), "--support", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frequent 1-spiders" in out
+        assert "|V|=3" in out
+
+
+class TestCompareCommand:
+    def test_compare_runs(self, tiny_graph_file, capsys):
+        code = main(["compare", str(tiny_graph_file), "--support", "2", "-k", "2", "--dmax", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SpiderMine" in out
+        assert "SUBDUE" in out
+        assert "SEuS" in out

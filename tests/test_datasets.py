@@ -1,0 +1,161 @@
+"""Unit tests for the paper's dataset recipes (GID 1-10, scalability, transactions, DBLP, Jeti)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DBLP_LABELS,
+    GID_DIFFERENCES,
+    GID_SETTINGS,
+    GID_6_10_SETTINGS,
+    generate_call_graph,
+    generate_dblp_like_graph,
+    generate_gid,
+    scalability_series,
+    transaction_database,
+)
+from repro.graph import diameter, find_embeddings
+
+
+class TestTable1Settings:
+    def test_all_five_settings_present(self):
+        assert set(GID_SETTINGS) == {1, 2, 3, 4, 5}
+
+    def test_table1_rows_match_paper(self):
+        row1 = GID_SETTINGS[1]
+        assert (row1.num_vertices, row1.num_labels, row1.average_degree) == (400, 70, 2)
+        assert (row1.num_large, row1.large_vertices, row1.large_support) == (5, 30, 2)
+        assert (row1.num_small, row1.small_vertices, row1.small_support) == (5, 3, 2)
+        assert GID_SETTINGS[2].average_degree == 4
+        assert GID_SETTINGS[3].small_support == 20
+        assert GID_SETTINGS[5].num_small == 20
+
+    def test_table2_differences_recorded(self):
+        assert (2, 1) in GID_DIFFERENCES
+        assert "degree" in GID_DIFFERENCES[(2, 1)]
+        assert len(GID_DIFFERENCES) == 4
+
+    def test_generate_scaled_down(self):
+        data = GID_SETTINGS[1].generate(seed=1, scale=0.3)
+        graph = data.graph
+        assert graph.num_vertices == 120
+        assert data.large_patterns
+        # The planted large patterns remain recoverable by exact matching.
+        planted = data.large_patterns[0].pattern
+        assert len(find_embeddings(planted, graph, limit=3)) >= 2
+
+    def test_generate_full_scale_sizes(self):
+        data = GID_SETTINGS[1].generate(seed=1, scale=1.0)
+        assert data.graph.num_vertices == 400
+        assert len(data.large_patterns) == 5
+        assert data.planted_large_sizes == [30] * 5
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            GID_SETTINGS[1].generate(scale=0.0)
+        with pytest.raises(ValueError):
+            GID_SETTINGS[1].generate(scale=1.5)
+
+    def test_injected_patterns_respect_diameter_bound(self):
+        data = GID_SETTINGS[1].generate(seed=2, scale=0.4, max_pattern_diameter=4)
+        for record in data.large_patterns:
+            assert diameter(record.pattern) <= 4
+
+
+class TestTable3Settings:
+    def test_all_settings_present(self):
+        assert set(GID_6_10_SETTINGS) == {6, 7, 8, 9, 10}
+
+    def test_small_pattern_share_grows(self):
+        supports = [GID_6_10_SETTINGS[g].small_support for g in range(6, 11)]
+        assert supports == sorted(supports)
+        sizes = [GID_6_10_SETTINGS[g].num_vertices for g in range(6, 11)]
+        assert sizes == sorted(sizes)
+
+    def test_generate_gid_dispatch(self):
+        data = generate_gid(6, seed=1, scale=0.01)
+        assert data.graph.num_vertices >= 40
+
+    def test_generate_gid_unknown(self):
+        with pytest.raises(ValueError):
+            generate_gid(11)
+
+
+class TestScalabilitySeries:
+    def test_sizes_respected(self):
+        series = scalability_series([60, 100, 140], seed=1)
+        assert [d.graph.num_vertices for d in series] == [60, 100, 140]
+
+    def test_scale_free_model(self):
+        series = scalability_series([80], model="barabasi_albert", seed=2)
+        assert series[0].graph.max_degree() > series[0].graph.average_degree()
+
+    def test_large_pattern_capped_for_tiny_graphs(self):
+        series = scalability_series([50], large_vertices=40, seed=3)
+        assert series[0].planted_large_sizes[0] <= 10
+
+
+class TestTransactionDatabase:
+    def test_figure14_style(self):
+        database = transaction_database(
+            num_graphs=4, graph_vertices=60, num_labels=20,
+            num_large=2, large_vertices=8, num_small=0, seed=1,
+        )
+        assert len(database) == 4
+        assert database.total_vertices == 240
+
+    def test_figure15_style_adds_small_patterns(self):
+        database = transaction_database(
+            num_graphs=4, graph_vertices=60, num_labels=20,
+            num_large=1, large_vertices=8, num_small=10, small_vertices=4, seed=1,
+        )
+        assert len(database) == 4
+
+
+class TestDblpLikeGraph:
+    def test_labels_and_size(self):
+        data = generate_dblp_like_graph(num_authors=300, seed=1)
+        assert data.graph.num_vertices == 300
+        assert data.graph.label_set() <= set(DBLP_LABELS)
+
+    def test_label_pyramid(self):
+        data = generate_dblp_like_graph(num_authors=800, seed=2)
+        counts = data.graph.label_counts()
+        assert counts["B"] > counts["P"]
+
+    def test_collaboration_patterns_injected(self):
+        data = generate_dblp_like_graph(
+            num_authors=300, num_collaboration_patterns=3, pattern_support=3, seed=3
+        )
+        assert len(data.collaboration_patterns) == 3
+        assert all(r.support == 3 for r in data.collaboration_patterns)
+
+    def test_deterministic(self):
+        a = generate_dblp_like_graph(num_authors=200, seed=4)
+        b = generate_dblp_like_graph(num_authors=200, seed=4)
+        assert a.graph == b.graph
+
+
+class TestJetiLikeGraph:
+    def test_defaults_match_paper_statistics(self):
+        data = generate_call_graph(seed=1)
+        graph = data.graph
+        assert graph.num_vertices == 835
+        assert len(graph.label_set()) <= 267
+        assert 1.5 <= graph.average_degree() <= 2.8
+
+    def test_hub_classes_create_high_degree(self):
+        data = generate_call_graph(seed=2)
+        assert data.graph.max_degree() >= 10
+
+    def test_call_motifs_injected(self):
+        data = generate_call_graph(num_methods=400, num_classes=100,
+                                   num_call_motifs=2, motif_support=5, seed=3)
+        assert len(data.call_motifs) == 2
+        assert all(r.support == 5 for r in data.call_motifs)
+
+    def test_deterministic(self):
+        a = generate_call_graph(num_methods=300, seed=5)
+        b = generate_call_graph(num_methods=300, seed=5)
+        assert a.graph == b.graph

@@ -1,0 +1,105 @@
+"""Unit tests for the Embedding value object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns import Embedding
+from tests.conftest import build_path, build_triangle
+
+
+class TestConstruction:
+    def test_from_dict_and_back(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11})
+        assert embedding.to_dict() == {0: 10, 1: 11}
+        assert len(embedding) == 2
+
+    def test_order_insensitive_equality(self):
+        a = Embedding.from_dict({0: 10, 1: 11})
+        b = Embedding.from_dict({1: 11, 0: 10})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_getitem(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11})
+        assert embedding[1] == 11
+        with pytest.raises(KeyError):
+            _ = embedding[5]
+
+    def test_iteration(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11})
+        assert dict(iter(embedding)) == {0: 10, 1: 11}
+
+
+class TestImages:
+    def test_vertex_image(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11})
+        assert embedding.image == frozenset({10, 11})
+
+    def test_edge_image(self):
+        pattern = build_path(["A", "B", "C"])
+        embedding = Embedding.from_dict({0: 5, 1: 6, 2: 7})
+        assert embedding.edge_image(pattern) == frozenset({(5, 6), (6, 7)})
+
+    def test_overlap_detection(self):
+        a = Embedding.from_dict({0: 1, 1: 2})
+        b = Embedding.from_dict({0: 2, 1: 3})
+        c = Embedding.from_dict({0: 4, 1: 5})
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_shares_edge(self):
+        pattern = build_path(["A", "B"])
+        a = Embedding.from_dict({0: 1, 1: 2})
+        b = Embedding.from_dict({0: 2, 1: 1})
+        c = Embedding.from_dict({0: 2, 1: 3})
+        assert a.shares_edge(b, pattern, pattern)
+        assert not a.shares_edge(c, pattern, pattern)
+
+
+class TestTransformations:
+    def test_restrict(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11, 2: 12})
+        restricted = embedding.restrict([0, 2])
+        assert restricted.to_dict() == {0: 10, 2: 12}
+
+    def test_compose_rename(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11})
+        renamed = embedding.compose_rename({0: "a", 1: "b"})
+        assert renamed.to_dict() == {"a": 10, "b": 11}
+
+
+class TestValidity:
+    def test_is_injective(self):
+        assert Embedding.from_dict({0: 1, 1: 2}).is_injective()
+        assert not Embedding.from_dict({0: 1, 1: 1}).is_injective()
+
+    def test_is_valid_true(self, triangle):
+        pattern = build_triangle()
+        embedding = Embedding.from_dict({0: 0, 1: 1, 2: 2})
+        assert embedding.is_valid(pattern, triangle)
+
+    def test_is_valid_missing_vertex(self, triangle):
+        pattern = build_triangle()
+        embedding = Embedding.from_dict({0: 0, 1: 1})
+        assert not embedding.is_valid(pattern, triangle)
+
+    def test_is_valid_label_mismatch(self, triangle):
+        pattern = build_triangle(("A", "B", "Z"))
+        embedding = Embedding.from_dict({0: 0, 1: 1, 2: 2})
+        assert not embedding.is_valid(pattern, triangle)
+
+    def test_is_valid_missing_edge(self, path4):
+        pattern = build_triangle(("A", "B", "C"))
+        embedding = Embedding.from_dict({0: 0, 1: 1, 2: 2})
+        assert not embedding.is_valid(pattern, path4)
+
+    def test_is_valid_non_injective(self, triangle):
+        pattern = build_triangle(("A", "B", "A"))
+        embedding = Embedding.from_dict({0: 0, 1: 1, 2: 0})
+        assert not embedding.is_valid(pattern, triangle)
+
+    def test_is_valid_vertex_not_in_graph(self, triangle):
+        pattern = build_triangle()
+        embedding = Embedding.from_dict({0: 0, 1: 1, 2: 42})
+        assert not embedding.is_valid(pattern, triangle)

@@ -1,0 +1,190 @@
+"""Unit tests for the random graph models and pattern injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    LabeledGraph,
+    assign_random_labels,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    find_embeddings,
+    inject_pattern,
+    is_connected,
+    label_alphabet,
+    random_connected_pattern,
+    synthetic_single_graph,
+    diameter,
+)
+
+
+class TestLabelHelpers:
+    def test_label_alphabet(self):
+        assert label_alphabet(3) == ["L0", "L1", "L2"]
+        assert label_alphabet(2, prefix="X") == ["X0", "X1"]
+
+    def test_label_alphabet_invalid(self):
+        with pytest.raises(ValueError):
+            label_alphabet(0)
+
+    def test_assign_random_labels_preserves_structure(self, triangle):
+        edges_before = set(map(tuple, map(sorted, triangle.edges())))
+        assign_random_labels(triangle, ["X", "Y"], seed=1)
+        assert set(map(tuple, map(sorted, triangle.edges()))) == edges_before
+        assert triangle.label_set() <= {"X", "Y"}
+
+
+class TestErdosRenyi:
+    def test_vertex_and_edge_counts(self):
+        graph = erdos_renyi_graph(100, 3.0, 10, seed=1)
+        assert graph.num_vertices == 100
+        assert abs(graph.average_degree() - 3.0) < 0.5
+
+    def test_labels_from_alphabet(self):
+        graph = erdos_renyi_graph(50, 2.0, 5, seed=2)
+        assert graph.label_set() <= set(label_alphabet(5))
+
+    def test_determinism(self):
+        a = erdos_renyi_graph(60, 2.0, 8, seed=3)
+        b = erdos_renyi_graph(60, 2.0, 8, seed=3)
+        assert a == b
+
+    def test_zero_degree(self):
+        graph = erdos_renyi_graph(10, 0.0, 3, seed=1)
+        assert graph.num_edges == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(0, 1.0, 3)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, -1.0, 3)
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        graph = barabasi_albert_graph(80, 2, 10, seed=1)
+        assert graph.num_vertices == 80
+        # m edges per new vertex beyond the seed core.
+        assert graph.num_edges >= 2 * (80 - 3)
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(300, 2, 10, seed=4)
+        assert graph.max_degree() > 3 * graph.average_degree()
+
+    def test_connected(self):
+        graph = barabasi_albert_graph(100, 1, 5, seed=2)
+        assert is_connected(graph)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0, 3)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(2, 3, 3)
+
+
+class TestRandomConnectedPattern:
+    def test_connected_and_sized(self):
+        labels = label_alphabet(10)
+        pattern = random_connected_pattern(12, labels, seed=1)
+        assert pattern.num_vertices == 12
+        assert is_connected(pattern)
+
+    def test_single_vertex(self):
+        pattern = random_connected_pattern(1, ["A"], seed=1)
+        assert pattern.num_vertices == 1
+        assert pattern.num_edges == 0
+
+    def test_max_diameter_respected(self):
+        labels = label_alphabet(20)
+        for seed in range(5):
+            pattern = random_connected_pattern(15, labels, seed=seed, max_diameter=4)
+            assert diameter(pattern) <= 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_connected_pattern(0, ["A"])
+
+
+class TestInjection:
+    def test_injected_pattern_is_embedded(self):
+        background = erdos_renyi_graph(80, 2.0, 20, seed=5)
+        pattern = random_connected_pattern(6, label_alphabet(20), seed=6)
+        record = inject_pattern(background, pattern, copies=3, seed=7)
+        assert record.support == 3
+        embeddings = find_embeddings(pattern, background, limit=10)
+        assert len(embeddings) >= 3
+
+    def test_injected_copies_disjoint(self):
+        background = erdos_renyi_graph(80, 2.0, 20, seed=8)
+        pattern = random_connected_pattern(5, label_alphabet(20), seed=9)
+        record = inject_pattern(background, pattern, copies=4, seed=10)
+        images = [set(m.values()) for m in record.embeddings]
+        for i in range(len(images)):
+            for j in range(i + 1, len(images)):
+                assert not (images[i] & images[j])
+
+    def test_injection_capacity_error(self):
+        background = erdos_renyi_graph(10, 1.0, 5, seed=1)
+        pattern = random_connected_pattern(6, label_alphabet(5), seed=2)
+        with pytest.raises(ValueError):
+            inject_pattern(background, pattern, copies=3, seed=3)
+
+    def test_injection_with_overlap_allowed(self):
+        background = erdos_renyi_graph(12, 1.0, 5, seed=1)
+        pattern = random_connected_pattern(6, label_alphabet(5), seed=2)
+        record = inject_pattern(background, pattern, copies=3, seed=3, allow_overlap=True)
+        assert record.support == 3
+
+
+class TestSyntheticSingleGraph:
+    def test_full_recipe(self):
+        data = synthetic_single_graph(
+            num_vertices=150, num_labels=30, average_degree=2.0,
+            num_large_patterns=2, large_pattern_vertices=10, large_pattern_support=2,
+            num_small_patterns=3, small_pattern_vertices=3, small_pattern_support=2,
+            seed=11,
+        )
+        assert data.graph.num_vertices == 150
+        assert len(data.large_patterns) == 2
+        assert len(data.small_patterns) == 3
+        assert data.planted_large_sizes == [10, 10]
+
+    def test_planted_patterns_recoverable_by_matching(self):
+        data = synthetic_single_graph(
+            num_vertices=120, num_labels=25, average_degree=2.0,
+            num_large_patterns=1, large_pattern_vertices=8, large_pattern_support=2,
+            num_small_patterns=0, small_pattern_vertices=3, small_pattern_support=2,
+            seed=12,
+        )
+        planted = data.large_patterns[0].pattern
+        embeddings = find_embeddings(planted, data.graph, limit=5)
+        assert len(embeddings) >= 2
+
+    def test_scale_free_background(self):
+        data = synthetic_single_graph(
+            num_vertices=150, num_labels=30, average_degree=3.0,
+            num_large_patterns=1, large_pattern_vertices=8, large_pattern_support=2,
+            num_small_patterns=0, small_pattern_vertices=3, small_pattern_support=2,
+            seed=13, model="barabasi_albert",
+        )
+        assert data.graph.num_vertices == 150
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            synthetic_single_graph(
+                num_vertices=50, num_labels=10, average_degree=2.0,
+                num_large_patterns=0, large_pattern_vertices=5, large_pattern_support=2,
+                num_small_patterns=0, small_pattern_vertices=3, small_pattern_support=2,
+                model="unknown",
+            )
+
+    def test_max_pattern_diameter_applied(self):
+        data = synthetic_single_graph(
+            num_vertices=200, num_labels=40, average_degree=2.0,
+            num_large_patterns=2, large_pattern_vertices=12, large_pattern_support=2,
+            num_small_patterns=0, small_pattern_vertices=3, small_pattern_support=2,
+            seed=14, max_pattern_diameter=4,
+        )
+        for record in data.large_patterns:
+            assert diameter(record.pattern) <= 4

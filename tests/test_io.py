@@ -1,0 +1,104 @@
+"""Unit tests for graph serialisation (.lg edge-list and JSON formats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphError, LabeledGraph, are_isomorphic, erdos_renyi_graph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    graphs_from_lg,
+    graphs_to_lg,
+    read_json,
+    read_lg,
+    write_json,
+    write_lg,
+)
+from tests.conftest import build_star, build_triangle
+
+
+class TestLgFormat:
+    def test_roundtrip_single_graph(self, triangle):
+        text = graphs_to_lg([triangle])
+        parsed = graphs_from_lg(text)
+        assert len(parsed) == 1
+        assert are_isomorphic(parsed[0], triangle)
+
+    def test_roundtrip_multiple_graphs(self, triangle, star3):
+        parsed = graphs_from_lg(graphs_to_lg([triangle, star3]))
+        assert len(parsed) == 2
+        assert are_isomorphic(parsed[0], triangle)
+        assert are_isomorphic(parsed[1], star3)
+
+    def test_roundtrip_random_graph(self):
+        graph = erdos_renyi_graph(40, 2.0, 6, seed=1)
+        parsed = graphs_from_lg(graphs_to_lg([graph]))[0]
+        assert parsed.num_vertices == graph.num_vertices
+        assert parsed.num_edges == graph.num_edges
+        assert parsed.label_counts() == graph.label_counts()
+
+    def test_labels_with_spaces_preserved(self):
+        graph = LabeledGraph()
+        graph.add_vertex(0, "class java.util.Calendar")
+        graph.add_vertex(1, "class java.util.Calendar")
+        graph.add_edge(0, 1)
+        parsed = graphs_from_lg(graphs_to_lg([graph]))[0]
+        assert parsed.label(0) == "class java.util.Calendar"
+
+    def test_blank_and_comment_lines_ignored(self):
+        text = "t # 0\n\n# a comment\nv 0 A\nv 1 B\ne 0 1\n"
+        parsed = graphs_from_lg(text)
+        assert parsed[0].num_edges == 1
+
+    def test_malformed_vertex_raises(self):
+        with pytest.raises(GraphError):
+            graphs_from_lg("t # 0\nv 0\n")
+
+    def test_malformed_edge_raises(self):
+        with pytest.raises(GraphError):
+            graphs_from_lg("t # 0\nv 0 A\ne 0\n")
+
+    def test_unknown_record_raises(self):
+        with pytest.raises(GraphError):
+            graphs_from_lg("t # 0\nx nonsense\n")
+
+    def test_empty_text(self):
+        assert graphs_from_lg("") == []
+
+    def test_file_roundtrip(self, tmp_path, triangle):
+        path = tmp_path / "graphs.lg"
+        write_lg([triangle], path)
+        parsed = read_lg(path)
+        assert are_isomorphic(parsed[0], triangle)
+
+
+class TestJsonFormat:
+    def test_dict_roundtrip(self, star3):
+        data = graph_to_dict(star3)
+        rebuilt = graph_from_dict(data)
+        assert rebuilt == star3
+
+    def test_string_vertex_ids(self):
+        graph = LabeledGraph()
+        graph.add_vertex("alice", "P")
+        graph.add_vertex("bob", "S")
+        graph.add_edge("alice", "bob")
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.has_edge("alice", "bob")
+
+    def test_file_roundtrip(self, tmp_path, triangle, star3):
+        path = tmp_path / "graphs.json"
+        write_json([triangle, star3], path)
+        parsed = read_json(path)
+        assert len(parsed) == 2
+        assert parsed[0] == triangle
+        assert parsed[1] == star3
+
+    def test_negative_integer_ids(self):
+        graph = LabeledGraph()
+        graph.add_vertex(-1, "A")
+        graph.add_vertex(2, "B")
+        graph.add_edge(-1, 2)
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.has_edge(-1, 2)

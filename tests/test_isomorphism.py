@@ -1,0 +1,146 @@
+"""Unit tests for the VF2-style subgraph isomorphism matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    LabeledGraph,
+    SubgraphMatcher,
+    are_isomorphic,
+    count_automorphisms,
+    embedding_edge_image,
+    embedding_image,
+    find_embeddings,
+    subgraph_exists,
+)
+from tests.conftest import build_path, build_star, build_triangle
+
+
+class TestFindEmbeddings:
+    def test_single_vertex_pattern(self, two_copy_graph):
+        pattern = LabeledGraph()
+        pattern.add_vertex("p", "A")
+        embeddings = find_embeddings(pattern, two_copy_graph)
+        assert {e["p"] for e in embeddings} == {0, 10}
+
+    def test_edge_pattern_counts(self, two_copy_graph):
+        pattern = build_path(["A", "B"])
+        embeddings = find_embeddings(pattern, two_copy_graph)
+        assert len(embeddings) == 2
+
+    def test_triangle_in_two_copies(self, two_copy_graph):
+        pattern = build_triangle()
+        embeddings = find_embeddings(pattern, two_copy_graph)
+        images = {frozenset(e.values()) for e in embeddings}
+        assert images == {frozenset({0, 1, 2}), frozenset({10, 11, 12})}
+
+    def test_no_embedding_when_label_missing(self, triangle):
+        pattern = LabeledGraph()
+        pattern.add_vertex(0, "MISSING")
+        assert find_embeddings(pattern, triangle) == []
+
+    def test_pattern_larger_than_target(self, triangle):
+        pattern = build_path(["A", "B", "C", "D", "E"])
+        assert find_embeddings(pattern, triangle) == []
+
+    def test_limit_caps_results(self, two_copy_graph):
+        pattern = LabeledGraph()
+        pattern.add_vertex(0, "A")
+        assert len(find_embeddings(pattern, two_copy_graph, limit=1)) == 1
+
+    def test_empty_pattern_yields_nothing(self, triangle):
+        assert find_embeddings(LabeledGraph(), triangle) == []
+
+    def test_embeddings_are_valid_maps(self, two_copy_graph):
+        pattern = build_path(["A", "B", "C"])
+        for mapping in find_embeddings(pattern, two_copy_graph):
+            for u, v in pattern.edges():
+                assert two_copy_graph.has_edge(mapping[u], mapping[v])
+            for p, g in mapping.items():
+                assert pattern.label(p) == two_copy_graph.label(g)
+
+    def test_anchor_restricts_head(self, two_copy_graph):
+        pattern = build_path(["A", "B"])
+        matcher = SubgraphMatcher(pattern, two_copy_graph)
+        anchored = matcher.find_embeddings(anchor=(0, 0))
+        assert len(anchored) == 1
+        assert anchored[0][0] == 0
+
+    def test_anchor_wrong_label_gives_nothing(self, two_copy_graph):
+        pattern = build_path(["A", "B"])
+        matcher = SubgraphMatcher(pattern, two_copy_graph)
+        assert matcher.find_embeddings(anchor=(0, 1)) == []  # vertex 1 has label B
+
+    def test_anchor_unknown_vertices(self, two_copy_graph):
+        pattern = build_path(["A", "B"])
+        matcher = SubgraphMatcher(pattern, two_copy_graph)
+        assert matcher.find_embeddings(anchor=(0, 777)) == []
+
+    def test_disconnected_pattern(self, two_copy_graph):
+        pattern = LabeledGraph()
+        pattern.add_vertex(0, "A")
+        pattern.add_vertex(1, "Z")
+        embeddings = find_embeddings(pattern, two_copy_graph)
+        assert len(embeddings) == 2  # A can map to 0 or 10, Z only to 99
+
+
+class TestInducedSemantics:
+    def test_non_induced_finds_path_in_triangle(self, triangle):
+        pattern = build_path(["A", "B", "C"])
+        assert subgraph_exists(pattern, triangle)
+
+    def test_induced_rejects_path_in_triangle(self, triangle):
+        pattern = build_path(["A", "B", "C"])
+        matcher = SubgraphMatcher(pattern, triangle, induced=True)
+        assert not matcher.exists()
+
+
+class TestExistsAndCount:
+    def test_exists(self, two_copy_graph):
+        assert subgraph_exists(build_triangle(), two_copy_graph)
+        assert not subgraph_exists(build_star("A", ("B", "B")), two_copy_graph)
+
+    def test_count_with_limit(self, two_copy_graph):
+        pattern = build_path(["A", "B"])
+        matcher = SubgraphMatcher(pattern, two_copy_graph)
+        assert matcher.count() == 2
+        assert matcher.count(limit=1) == 1
+
+
+class TestGraphIsomorphism:
+    def test_isomorphic_relabeled(self, triangle):
+        other = triangle.relabeled({0: "x", 1: "y", 2: "z"})
+        assert are_isomorphic(triangle, other)
+
+    def test_not_isomorphic_different_edges(self):
+        assert not are_isomorphic(build_path(["A", "B", "C"]), build_triangle())
+
+    def test_not_isomorphic_different_labels(self):
+        assert not are_isomorphic(build_path(["A", "B"]), build_path(["A", "C"]))
+
+    def test_not_isomorphic_different_degree_sequence(self):
+        star = build_star("A", ("A", "A", "A"))
+        path = build_path(["A", "A", "A", "A"])
+        assert not are_isomorphic(star, path)
+
+    def test_automorphism_counts(self):
+        symmetric_star = build_star("H", ("L", "L", "L"))
+        assert count_automorphisms(symmetric_star) == 6  # 3! leaf permutations
+        asymmetric = build_star("H", ("A", "B", "C"))
+        assert count_automorphisms(asymmetric) == 1
+
+    def test_automorphism_triangle_same_labels(self):
+        tri = build_triangle(("A", "A", "A"))
+        assert count_automorphisms(tri) == 6
+
+
+class TestEmbeddingImages:
+    def test_embedding_image(self):
+        assert embedding_image({0: 5, 1: 7}) == frozenset({5, 7})
+
+    def test_embedding_edge_image_normalised(self, triangle):
+        pattern = build_path(["A", "B"])
+        mapping = {0: 0, 1: 1}
+        edges = embedding_edge_image(pattern, mapping)
+        assert edges == frozenset({(0, 1)})

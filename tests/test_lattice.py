@@ -1,0 +1,101 @@
+"""Unit tests for the pattern-lattice helpers (containment, maximality, closedness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns import (
+    Embedding,
+    Pattern,
+    filter_maximal_patterns,
+    group_by_size,
+    is_sub_pattern,
+    same_support_set,
+    size_distribution,
+)
+from tests.conftest import build_path, build_star, build_triangle
+
+
+class TestContainment:
+    def test_edge_inside_triangle(self):
+        edge = Pattern(graph=build_path(["A", "B"]))
+        triangle = Pattern(graph=build_triangle())
+        assert is_sub_pattern(edge, triangle)
+        assert not is_sub_pattern(triangle, edge)
+
+    def test_label_mismatch(self):
+        edge = Pattern(graph=build_path(["A", "Z"]))
+        triangle = Pattern(graph=build_triangle())
+        assert not is_sub_pattern(edge, triangle)
+
+    def test_pattern_contains_itself(self):
+        triangle = Pattern(graph=build_triangle())
+        assert is_sub_pattern(triangle, triangle)
+
+
+class TestMaximality:
+    def test_filter_maximal(self):
+        edge = Pattern(graph=build_path(["A", "B"]))
+        path3 = Pattern(graph=build_path(["A", "B", "C"]))
+        triangle = Pattern(graph=build_triangle())
+        maximal = filter_maximal_patterns([edge, path3, triangle])
+        codes = {p.code for p in maximal}
+        assert triangle.code in codes
+        assert edge.code not in codes
+
+    def test_incomparable_patterns_all_kept(self):
+        a = Pattern(graph=build_path(["A", "A"]))
+        b = Pattern(graph=build_path(["B", "B"]))
+        maximal = filter_maximal_patterns([a, b])
+        assert len(maximal) == 2
+
+    def test_empty_input(self):
+        assert filter_maximal_patterns([]) == []
+
+
+class TestClosedness:
+    def test_same_support_set_true(self):
+        parent = Pattern(graph=build_path(["A", "B"]))
+        parent.add_embedding(Embedding.from_dict({0: 1, 1: 2}))
+        child = Pattern(graph=build_path(["A", "B", "C"]))
+        child.add_embedding(Embedding.from_dict({0: 1, 1: 2, 2: 3}))
+        assert same_support_set(parent, child)
+
+    def test_same_support_set_false_when_parent_has_more(self):
+        parent = Pattern(graph=build_path(["A", "B"]))
+        parent.add_embedding(Embedding.from_dict({0: 1, 1: 2}))
+        parent.add_embedding(Embedding.from_dict({0: 5, 1: 6}))
+        child = Pattern(graph=build_path(["A", "B", "C"]))
+        child.add_embedding(Embedding.from_dict({0: 1, 1: 2, 2: 3}))
+        assert not same_support_set(parent, child)
+
+    def test_same_support_set_false_disjoint(self):
+        parent = Pattern(graph=build_path(["A", "B"]))
+        parent.add_embedding(Embedding.from_dict({0: 1, 1: 2}))
+        child = Pattern(graph=build_path(["A", "B", "C"]))
+        child.add_embedding(Embedding.from_dict({0: 7, 1: 8, 2: 9}))
+        assert not same_support_set(parent, child)
+
+
+class TestDistributions:
+    def make_patterns(self):
+        return [
+            Pattern(graph=build_path(["A", "B"])),
+            Pattern(graph=build_path(["C", "D"])),
+            Pattern(graph=build_triangle()),
+            Pattern(graph=build_star("H", ("A", "B", "C", "D"))),
+        ]
+
+    def test_group_by_vertices(self):
+        groups = group_by_size(self.make_patterns(), by="vertices")
+        assert {size: len(ps) for size, ps in groups.items()} == {2: 2, 3: 1, 5: 1}
+
+    def test_group_by_edges(self):
+        groups = group_by_size(self.make_patterns(), by="edges")
+        assert set(groups) == {1, 3, 4}
+
+    def test_size_distribution(self):
+        assert size_distribution(self.make_patterns()) == {2: 2, 3: 1, 5: 1}
+
+    def test_size_distribution_empty(self):
+        assert size_distribution([]) == {}

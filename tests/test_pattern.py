@@ -1,0 +1,146 @@
+"""Unit tests for the Pattern object and pattern collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns import (
+    Embedding,
+    Pattern,
+    deduplicate_patterns,
+    sort_patterns_by_size,
+    top_k_patterns,
+)
+from tests.conftest import build_path, build_star, build_triangle
+
+
+class TestConstruction:
+    def test_from_subgraph(self, two_copy_graph):
+        pattern = Pattern.from_subgraph(two_copy_graph, [0, 1, 2])
+        assert pattern.num_vertices == 3
+        assert pattern.num_edges == 3
+        assert pattern.support == 1
+        assert pattern.verify_embeddings(two_copy_graph)
+
+    def test_single_vertex_with_data_graph(self, two_copy_graph):
+        pattern = Pattern.single_vertex("A", two_copy_graph)
+        assert pattern.num_vertices == 1
+        assert pattern.support == 2
+
+    def test_single_vertex_without_data_graph(self):
+        pattern = Pattern.single_vertex("A")
+        assert pattern.support == 0
+
+    def test_size_is_edge_count(self, triangle):
+        pattern = Pattern(graph=build_triangle())
+        assert pattern.size == 3
+
+    def test_diameter(self):
+        assert Pattern(graph=build_path(["A", "B", "C"])).diameter() == 2
+        assert Pattern(graph=build_triangle()).diameter() == 1
+
+
+class TestCode:
+    def test_code_cached_and_isomorphism(self):
+        a = Pattern(graph=build_triangle())
+        b = Pattern(graph=build_triangle().relabeled({0: 5, 1: 6, 2: 7}))
+        assert a.code == b.code
+        assert a.is_isomorphic_to(b)
+
+    def test_invalidate_code(self):
+        pattern = Pattern(graph=build_path(["A", "B"]))
+        first = pattern.code
+        pattern.graph.add_vertex(9, "C")
+        pattern.graph.add_edge(1, 9)
+        pattern.invalidate_code()
+        assert pattern.code != first
+
+    def test_not_isomorphic_different_size(self):
+        a = Pattern(graph=build_path(["A", "B"]))
+        b = Pattern(graph=build_path(["A", "B", "C"]))
+        assert not a.is_isomorphic_to(b)
+
+
+class TestEmbeddingManagement:
+    def test_add_and_dedupe(self, two_copy_graph):
+        pattern = Pattern.single_vertex("A", two_copy_graph)
+        pattern.add_embedding(Embedding.from_dict({0: 0}))
+        assert pattern.support == 3
+        pattern.deduplicate_embeddings()
+        assert pattern.support == 2
+
+    def test_covered_vertices(self, two_copy_graph):
+        pattern = Pattern.single_vertex("A", two_copy_graph)
+        assert pattern.covered_vertices() == {0, 10}
+
+    def test_recompute_embeddings(self, two_copy_graph):
+        pattern = Pattern(graph=build_triangle())
+        pattern.recompute_embeddings(two_copy_graph)
+        assert pattern.support == 2
+        assert pattern.verify_embeddings(two_copy_graph)
+
+    def test_verify_embeddings_detects_bad_mapping(self, two_copy_graph):
+        pattern = Pattern(graph=build_triangle())
+        pattern.add_embedding(Embedding.from_dict({0: 0, 1: 1, 2: 99}))
+        assert not pattern.verify_embeddings(two_copy_graph)
+
+    def test_contains_pattern(self):
+        triangle = Pattern(graph=build_triangle(("A", "A", "A")))
+        edge = Pattern(graph=build_path(["A", "A"]))
+        assert triangle.contains_pattern(edge)
+        assert not edge.contains_pattern(triangle)
+
+    def test_copy_is_shallow_embedding_list(self, two_copy_graph):
+        pattern = Pattern.single_vertex("A", two_copy_graph)
+        clone = pattern.copy()
+        clone.add_embedding(Embedding.from_dict({0: 1}))
+        assert pattern.support == 2
+        assert clone.support == 3
+
+
+class TestCollections:
+    def make_patterns(self):
+        return [
+            Pattern(graph=build_path(["A", "B"])),                  # 2 vertices, 1 edge
+            Pattern(graph=build_triangle()),                        # 3 vertices, 3 edges
+            Pattern(graph=build_star("H", ("A", "B", "C", "D"))),   # 5 vertices, 4 edges
+            Pattern(graph=build_path(["A", "B", "C"])),             # 3 vertices, 2 edges
+        ]
+
+    def test_sort_by_vertices(self):
+        ranked = sort_patterns_by_size(self.make_patterns(), by="vertices")
+        assert [p.num_vertices for p in ranked] == [5, 3, 3, 2]
+
+    def test_sort_by_edges(self):
+        ranked = sort_patterns_by_size(self.make_patterns(), by="edges")
+        assert [p.num_edges for p in ranked] == [4, 3, 2, 1]
+
+    def test_sort_by_both(self):
+        ranked = sort_patterns_by_size(self.make_patterns(), by="both")
+        assert ranked[0].num_vertices == 5
+
+    def test_sort_invalid_key(self):
+        with pytest.raises(ValueError):
+            sort_patterns_by_size(self.make_patterns(), by="weight")
+
+    def test_top_k(self):
+        top = top_k_patterns(self.make_patterns(), 2)
+        assert len(top) == 2
+        assert top[0].num_vertices == 5
+
+    def test_top_k_negative(self):
+        with pytest.raises(ValueError):
+            top_k_patterns(self.make_patterns(), -1)
+
+    def test_top_k_larger_than_population(self):
+        top = top_k_patterns(self.make_patterns(), 50)
+        assert len(top) == 4
+
+    def test_deduplicate_merges_embeddings(self, two_copy_graph):
+        first = Pattern(graph=build_triangle())
+        first.recompute_embeddings(two_copy_graph, limit=1)
+        second = Pattern(graph=build_triangle().relabeled({0: 7, 1: 8, 2: 9}))
+        second.recompute_embeddings(two_copy_graph)
+        merged = deduplicate_patterns([first, second])
+        assert len(merged) == 1
+        assert merged[0].support == 2

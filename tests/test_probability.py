@@ -1,0 +1,109 @@
+"""Unit tests for the Lemma 2 seeding analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    compute_seed_count,
+    failure_probability,
+    hit_probability,
+    plan_seeds,
+    success_probability,
+)
+
+
+class TestHitProbability:
+    def test_basic_ratio(self):
+        assert hit_probability(10, 100) == pytest.approx(0.1)
+
+    def test_capped_at_one(self):
+        assert hit_probability(200, 100) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hit_probability(10, 0)
+        with pytest.raises(ValueError):
+            hit_probability(-1, 10)
+
+
+class TestFailureProbability:
+    def test_zero_draws_always_fails(self):
+        assert failure_probability(0.1, 0) == 1.0
+
+    def test_decreases_with_draws(self):
+        values = [failure_probability(0.1, m) for m in (10, 50, 100, 200)]
+        assert values == sorted(values, reverse=True)
+
+    def test_bounds(self):
+        for m in (1, 10, 100):
+            for hit in (0.01, 0.1, 0.5, 0.9):
+                value = failure_probability(hit, m)
+                assert 0.0 <= value <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            failure_probability(1.5, 10)
+        with pytest.raises(ValueError):
+            failure_probability(0.1, -1)
+
+
+class TestSuccessProbability:
+    def test_monotone_in_draws(self):
+        values = [success_probability(m, 10, 10, 100) for m in (20, 50, 100, 200)]
+        assert values == sorted(values)
+
+    def test_more_patterns_is_harder(self):
+        assert success_probability(100, 20, 10, 100) <= success_probability(100, 5, 10, 100)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            success_probability(10, 0, 10, 100)
+
+
+class TestSeedCount:
+    def test_paper_worked_example(self):
+        """ε=0.1, K=10, Vmin=|V|/10 gives M ≈ 85 in the paper (Section 4.1)."""
+        m = compute_seed_count(k=10, epsilon=0.1, v_min=100, graph_vertices=1000)
+        assert 80 <= m <= 90
+
+    def test_guarantee_met(self):
+        for k, eps, vmin, n in [(10, 0.1, 100, 1000), (5, 0.05, 30, 400), (20, 0.2, 50, 2000)]:
+            m = compute_seed_count(k, eps, vmin, n)
+            assert success_probability(m, k, vmin, n) >= 1 - eps
+
+    def test_smaller_epsilon_needs_more_seeds(self):
+        loose = compute_seed_count(10, 0.3, 100, 1000)
+        tight = compute_seed_count(10, 0.01, 100, 1000)
+        assert tight > loose
+
+    def test_smaller_vmin_needs_more_seeds(self):
+        big_patterns = compute_seed_count(10, 0.1, 200, 1000)
+        small_patterns = compute_seed_count(10, 0.1, 50, 1000)
+        assert small_patterns > big_patterns
+
+    def test_max_seed_count_cap(self):
+        assert compute_seed_count(10, 0.01, 10, 10000, max_seed_count=50) == 50
+
+    def test_degenerate_full_graph_pattern(self):
+        assert compute_seed_count(1, 0.1, 100, 100) >= 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compute_seed_count(10, 1.5, 10, 100)
+        with pytest.raises(ValueError):
+            compute_seed_count(10, 0.1, 0, 100)
+
+
+class TestSeedPlan:
+    def test_plan_reports_guarantee(self):
+        plan = plan_seeds(k=10, epsilon=0.1, v_min=100, graph_vertices=1000)
+        assert plan.num_draws >= 2
+        assert plan.guaranteed_success >= 0.9
+
+    def test_plan_fields(self):
+        plan = plan_seeds(k=3, epsilon=0.2, v_min=20, graph_vertices=200)
+        assert plan.k == 3
+        assert plan.epsilon == 0.2
+        assert plan.v_min == 20
+        assert plan.graph_vertices == 200

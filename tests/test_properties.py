@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These cover the invariants the algorithms rely on:
+
+* canonical codes are isomorphism invariants (relabeling never changes them);
+* the VF2 matcher finds only valid, label- and edge-preserving embeddings;
+* support measures are ordered (harmful-overlap ≤ edge-disjoint ≤ image count)
+  and anti-monotone under edge removal from the pattern's perspective;
+* spider-sets satisfy Theorem 2 (isomorphic graphs ⇒ equal spider-sets);
+* Lemma 2's seed count always achieves the requested success probability;
+* graph serialisation round-trips.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.core import compute_seed_count, success_probability
+from repro.graph import (
+    LabeledGraph,
+    are_isomorphic,
+    canonical_code,
+    diameter,
+    find_embeddings,
+    is_connected,
+)
+from repro.graph.io import graphs_from_lg, graphs_to_lg
+from repro.patterns import (
+    Pattern,
+    SpiderSet,
+    SupportMeasure,
+    compute_support,
+)
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+LABELS = ["A", "B", "C"]
+
+
+@st.composite
+def small_labeled_graphs(draw, min_vertices=1, max_vertices=7):
+    """Random small labeled graphs (possibly disconnected)."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(n)]
+    graph = LabeledGraph()
+    for i, label in enumerate(labels):
+        graph.add_vertex(i, label)
+    possible_edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    for u, v in possible_edges:
+        if draw(st.booleans()):
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def connected_small_graphs(draw, min_vertices=2, max_vertices=7):
+    """Random small connected labeled graphs (spanning tree + extra edges)."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(n)]
+    graph = LabeledGraph()
+    for i, label in enumerate(labels):
+        graph.add_vertex(i, label)
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        graph.add_edge(i, parent)
+    possible_edges = [(i, j) for i in range(n) for j in range(i + 1, n) if not graph.has_edge(i, j)]
+    for u, v in possible_edges:
+        if draw(st.booleans()):
+            graph.add_edge(u, v)
+    return graph
+
+
+def relabel_randomly(graph: LabeledGraph, seed: int) -> LabeledGraph:
+    rng = random.Random(seed)
+    names = list(range(1000, 1000 + graph.num_vertices))
+    rng.shuffle(names)
+    return graph.relabeled(dict(zip(graph.vertices(), names)))
+
+
+COMMON_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------- #
+# canonical codes
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(graph=small_labeled_graphs(), seed=st.integers(min_value=0, max_value=10**6))
+def test_canonical_code_invariant_under_relabeling(graph, seed):
+    assert canonical_code(relabel_randomly(graph, seed)) == canonical_code(graph)
+
+
+@COMMON_SETTINGS
+@given(first=small_labeled_graphs(max_vertices=5), second=small_labeled_graphs(max_vertices=5))
+def test_canonical_code_equality_matches_isomorphism(first, second):
+    assert (canonical_code(first) == canonical_code(second)) == are_isomorphic(first, second)
+
+
+# --------------------------------------------------------------------------- #
+# subgraph matching
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(graph=connected_small_graphs(), seed=st.integers(min_value=0, max_value=10**6))
+def test_graph_always_embeds_in_itself(graph, seed):
+    copy = relabel_randomly(graph, seed)
+    embeddings = find_embeddings(graph, copy, limit=1)
+    assert embeddings, "a graph must embed in any isomorphic copy"
+    mapping = embeddings[0]
+    for u, v in graph.edges():
+        assert copy.has_edge(mapping[u], mapping[v])
+    for p, g in mapping.items():
+        assert graph.label(p) == copy.label(g)
+
+
+@COMMON_SETTINGS
+@given(graph=connected_small_graphs(min_vertices=3))
+def test_embeddings_are_injective_and_label_preserving(graph):
+    # Use a sub-pattern: the induced subgraph on the first two vertices + an edge.
+    vertices = sorted(graph.vertices())[:3]
+    pattern = graph.subgraph(vertices)
+    assume(pattern.num_edges >= 1)
+    for mapping in find_embeddings(pattern, graph, limit=20):
+        assert len(set(mapping.values())) == len(mapping)
+        for p, g in mapping.items():
+            assert pattern.label(p) == graph.label(g)
+
+
+# --------------------------------------------------------------------------- #
+# support measures
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(graph=small_labeled_graphs(min_vertices=2, max_vertices=6),
+       pattern=connected_small_graphs(min_vertices=2, max_vertices=3))
+def test_support_measure_ordering(graph, pattern):
+    p = Pattern(graph=pattern)
+    p.recompute_embeddings(graph, limit=50)
+    harmful = compute_support(p, SupportMeasure.HARMFUL_OVERLAP)
+    edge_disjoint = compute_support(p, SupportMeasure.EDGE_DISJOINT)
+    images = compute_support(p, SupportMeasure.EMBEDDING_IMAGES)
+    assert 0 <= harmful <= edge_disjoint <= images
+
+
+@COMMON_SETTINGS
+@given(graph=connected_small_graphs(min_vertices=3, max_vertices=6))
+def test_single_vertex_support_counts_label_occurrences(graph):
+    label = graph.label(0)
+    p = Pattern.single_vertex(label, graph)
+    assert compute_support(p, SupportMeasure.HARMFUL_OVERLAP) == len(
+        graph.vertices_with_label(label)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# spider sets (Theorem 2)
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(graph=connected_small_graphs(), seed=st.integers(min_value=0, max_value=10**6),
+       radius=st.integers(min_value=1, max_value=2))
+def test_spider_set_is_isomorphism_invariant(graph, seed, radius):
+    copy = relabel_randomly(graph, seed)
+    assert SpiderSet.of(graph, radius=radius) == SpiderSet.of(copy, radius=radius)
+
+
+@COMMON_SETTINGS
+@given(graph=connected_small_graphs(), radius=st.integers(min_value=1, max_value=2))
+def test_spider_set_size_equals_vertex_count(graph, radius):
+    assert len(SpiderSet.of(graph, radius=radius)) == graph.num_vertices
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 2 seeding
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(
+    k=st.integers(min_value=1, max_value=20),
+    epsilon=st.floats(min_value=0.01, max_value=0.5),
+    ratio=st.integers(min_value=2, max_value=50),
+)
+def test_seed_count_always_meets_guarantee(k, epsilon, ratio):
+    graph_vertices = 1000
+    v_min = graph_vertices // ratio
+    m = compute_seed_count(k, epsilon, v_min, graph_vertices)
+    assert success_probability(m, k, v_min, graph_vertices) >= 1 - epsilon
+    assert m >= 2
+
+
+# --------------------------------------------------------------------------- #
+# serialisation and misc invariants
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(graph=small_labeled_graphs())
+def test_lg_roundtrip_preserves_structure(graph):
+    parsed = graphs_from_lg(graphs_to_lg([graph]))[0]
+    assert parsed.num_vertices == graph.num_vertices
+    assert parsed.num_edges == graph.num_edges
+    assert canonical_code(parsed) == canonical_code(graph)
+
+
+@COMMON_SETTINGS
+@given(graph=connected_small_graphs())
+def test_connected_graph_diameter_bounds(graph):
+    assert is_connected(graph)
+    d = diameter(graph)
+    assert 0 <= d <= graph.num_vertices - 1
+
+
+@COMMON_SETTINGS
+@given(graph=small_labeled_graphs())
+def test_subgraph_of_all_vertices_is_identity(graph):
+    assert graph.subgraph(list(graph.vertices())) == graph

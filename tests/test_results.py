@@ -1,0 +1,84 @@
+"""Unit tests for MiningResult / MiningStatistics."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import MiningResult, MiningStatistics
+from repro.core.results import stage_timer
+from repro.patterns import Pattern
+from tests.conftest import build_path, build_star, build_triangle
+
+
+def make_result():
+    patterns = [
+        Pattern(graph=build_star("H", ("A", "B", "C", "D"))),
+        Pattern(graph=build_triangle()),
+        Pattern(graph=build_path(["A", "B"])),
+    ]
+    return MiningResult(algorithm="Test", patterns=patterns, runtime_seconds=1.25)
+
+
+class TestMiningResult:
+    def test_len_and_iter(self):
+        result = make_result()
+        assert len(result) == 3
+        assert len(list(result)) == 3
+
+    def test_largest_pattern(self):
+        result = make_result()
+        assert result.largest_pattern.num_vertices == 5
+        assert result.largest_size_vertices == 5
+        assert result.largest_size_edges == 4
+
+    def test_largest_of_empty_result(self):
+        empty = MiningResult(algorithm="Empty", patterns=[])
+        assert empty.largest_pattern is None
+        assert empty.largest_size_vertices == 0
+        assert empty.largest_size_edges == 0
+
+    def test_size_distribution(self):
+        result = make_result()
+        assert result.size_distribution() == {2: 1, 3: 1, 5: 1}
+        assert result.size_distribution(by="edges") == {1: 1, 3: 1, 4: 1}
+
+    def test_sizes_sorted(self):
+        assert make_result().sizes() == [5, 3, 2]
+        assert make_result().sizes(by="edges") == [4, 3, 1]
+
+    def test_top(self):
+        top = make_result().top(2)
+        assert [p.num_vertices for p in top] == [5, 3]
+
+    def test_summary_mentions_algorithm_and_runtime(self):
+        text = make_result().summary()
+        assert "Test" in text
+        assert "1.25" in text
+
+
+class TestMiningStatistics:
+    def test_defaults(self):
+        stats = MiningStatistics()
+        assert stats.num_spiders == 0
+        assert stats.stage_durations == {}
+
+    def test_record_stage_accumulates(self):
+        stats = MiningStatistics()
+        stats.record_stage("stage1", 1.0)
+        stats.record_stage("stage1", 0.5)
+        assert stats.stage_durations["stage1"] == pytest.approx(1.5)
+
+    def test_stage_timer_context_manager(self):
+        stats = MiningStatistics()
+        with stage_timer(stats, "work"):
+            time.sleep(0.01)
+        assert stats.stage_durations["work"] >= 0.01
+
+    def test_stage_timer_records_on_exception(self):
+        stats = MiningStatistics()
+        with pytest.raises(RuntimeError):
+            with stage_timer(stats, "boom"):
+                raise RuntimeError("x")
+        assert "boom" in stats.stage_durations

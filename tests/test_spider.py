@@ -1,0 +1,183 @@
+"""Unit tests for r-spiders and the spider-set representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import LabeledGraph
+from repro.patterns import (
+    Embedding,
+    Pattern,
+    Spider,
+    SpiderSet,
+    SpiderSetIndex,
+    extract_spider,
+    extract_spider_from_data,
+    head_distinguished_code,
+)
+from tests.conftest import build_path, build_star, build_triangle
+
+
+class TestSpiderConstruction:
+    def test_star_is_1_spider_from_center(self):
+        spider = Spider(graph=build_star(), head=0, radius=1)
+        assert spider.head_label == "H"
+        assert spider.num_vertices == 4
+
+    def test_star_not_1_spider_from_leaf(self):
+        with pytest.raises(ValueError):
+            Spider(graph=build_star(), head=1, radius=1)
+
+    def test_head_required(self):
+        with pytest.raises(ValueError):
+            Spider(graph=build_star(), head=None, radius=1)
+
+    def test_head_must_exist(self):
+        with pytest.raises(ValueError):
+            Spider(graph=build_star(), head=42, radius=1)
+
+    def test_path_is_2_spider_from_middle(self):
+        path = build_path(["A", "B", "C", "D", "E"])
+        spider = Spider(graph=path, head=2, radius=2)
+        assert spider.radius == 2
+
+    def test_boundary_vertices_star(self):
+        spider = Spider(graph=build_star(), head=0, radius=1)
+        assert spider.boundary_vertices() == [1, 2, 3]
+
+    def test_boundary_vertices_single_vertex(self):
+        graph = LabeledGraph()
+        graph.add_vertex(0, "A")
+        spider = Spider(graph=graph, head=0, radius=1)
+        assert spider.boundary_vertices() == [0]
+
+    def test_head_images(self, two_copy_graph):
+        graph = LabeledGraph()
+        graph.add_vertex(0, "A")
+        graph.add_vertex(1, "B")
+        graph.add_edge(0, 1)
+        spider = Spider(
+            graph=graph,
+            embeddings=[Embedding.from_dict({0: 0, 1: 1}), Embedding.from_dict({0: 10, 1: 11})],
+            head=0,
+            radius=1,
+        )
+        assert spider.head_images() == [0, 10]
+
+    def test_copy_preserves_head(self):
+        spider = Spider(graph=build_star(), head=0, radius=1)
+        clone = spider.copy()
+        assert clone.head == 0
+        assert clone.radius == 1
+        assert clone.graph == spider.graph
+
+
+class TestHeadDistinguishedCode:
+    def test_same_graph_different_head_different_code(self):
+        path = build_path(["A", "B", "A"])
+        code_end = head_distinguished_code(path, 0)
+        code_mid = head_distinguished_code(path, 1)
+        assert code_end != code_mid
+
+    def test_symmetric_heads_share_code(self):
+        path = build_path(["A", "B", "A"])
+        assert head_distinguished_code(path, 0) == head_distinguished_code(path, 2)
+
+    def test_isomorphic_spiders_share_code(self):
+        star_a = build_star("H", ("L", "L"))
+        star_b = build_star("H", ("L", "L")).relabeled({0: 9, 1: 8, 2: 7})
+        assert head_distinguished_code(star_a, 0) == head_distinguished_code(star_b, 9)
+
+
+class TestExtraction:
+    def test_extract_spider_within_pattern(self):
+        path = build_path(["A", "B", "C", "D"])
+        sub, head = extract_spider(path, 1, 1)
+        assert head == 1
+        assert set(sub.vertices()) == {0, 1, 2}
+
+    def test_extract_spider_from_data(self, two_copy_graph):
+        spider = extract_spider_from_data(two_copy_graph, 0, 1)
+        assert spider.head == 0
+        assert spider.num_vertices == 3  # triangle corner sees both others
+        assert len(spider.embeddings) == 1
+
+
+class TestSpiderSet:
+    def test_multiset_size_equals_vertex_count(self):
+        star = build_star()
+        spider_set = SpiderSet.of(star, radius=1)
+        assert len(spider_set) == star.num_vertices
+
+    def test_isomorphic_patterns_equal_spider_sets(self):
+        """Theorem 2: P isomorphic to Q implies S[P] == S[Q]."""
+        tri_a = build_triangle(("A", "B", "C"))
+        tri_b = tri_a.relabeled({0: 10, 1: 11, 2: 12})
+        assert SpiderSet.of(tri_a) == SpiderSet.of(tri_b)
+        assert hash(SpiderSet.of(tri_a)) == hash(SpiderSet.of(tri_b))
+
+    def test_different_patterns_different_sets(self):
+        assert SpiderSet.of(build_triangle(("A", "A", "A"))) != SpiderSet.of(
+            build_path(["A", "A", "A"])
+        )
+
+    def test_distinct_spiders_counted(self):
+        star = build_star("H", ("L", "L", "L"))
+        spider_set = SpiderSet.of(star)
+        # Head spider appears once; the three leaf spiders are identical.
+        assert spider_set.distinct_spiders == 2
+        assert spider_set.as_counter().most_common(1)[0][1] == 3
+
+    def test_paper_figure3_radius_sensitivity(self):
+        """Figure 3 (II): two different graphs can share the r=1 spider-set
+        but are separated at r=2 — larger radius means stronger constraints."""
+        # Graph (a): 6-cycle.  Graph (b): two triangles.  Same labels everywhere.
+        cycle = LabeledGraph()
+        for i in range(6):
+            cycle.add_vertex(i, "X")
+        for i in range(6):
+            cycle.add_edge(i, (i + 1) % 6)
+        two_triangles = LabeledGraph()
+        for i in range(6):
+            two_triangles.add_vertex(i, "X")
+        for a, b in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]:
+            two_triangles.add_edge(a, b)
+        assert SpiderSet.of(cycle, radius=1) == SpiderSet.of(two_triangles, radius=1)
+        assert SpiderSet.of(cycle, radius=2) != SpiderSet.of(two_triangles, radius=2)
+
+
+class TestSpiderSetIndex:
+    def test_new_spider_set_skips_isomorphism(self):
+        index = SpiderSetIndex()
+        index.add(Pattern(graph=build_triangle(("A", "B", "C"))))
+        index.add(Pattern(graph=build_path(["A", "B", "C"])))
+        assert len(index) == 2
+        assert index.isomorphism_checks == 0
+
+    def test_duplicate_pattern_merged(self, two_copy_graph):
+        index = SpiderSetIndex()
+        first = Pattern(graph=build_triangle())
+        first.recompute_embeddings(two_copy_graph, limit=1)
+        second = Pattern(graph=build_triangle().relabeled({0: 5, 1: 6, 2: 7}))
+        second.recompute_embeddings(two_copy_graph)
+        _, was_new_first = index.add(first)
+        merged, was_new_second = index.add(second)
+        assert was_new_first
+        assert not was_new_second
+        assert len(index) == 1
+        assert merged.support == 2
+        assert index.isomorphism_checks >= 1
+
+    def test_might_be_isomorphic(self):
+        index = SpiderSetIndex()
+        a = Pattern(graph=build_triangle(("A", "A", "A")))
+        b = Pattern(graph=build_path(["A", "A", "A"]))
+        c = Pattern(graph=build_triangle(("A", "A", "A")).relabeled({0: 3, 1: 4, 2: 5}))
+        assert not index.might_be_isomorphic(a, b)
+        assert index.might_be_isomorphic(a, c)
+
+    def test_patterns_listing(self):
+        index = SpiderSetIndex()
+        index.add(Pattern(graph=build_triangle()))
+        index.add(Pattern(graph=build_star()))
+        assert len(index.patterns()) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for Stage I: mining all frequent r-spiders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SpiderMineConfig, SpiderMiner, build_spider_index, mine_spiders
+from repro.graph import LabeledGraph, is_r_bounded_from
+from repro.patterns import SupportMeasure, compute_support
+from tests.conftest import build_path
+
+
+def two_stars_graph() -> LabeledGraph:
+    """Two copies of the star H-(A, B, C) plus one extra H-A edge elsewhere."""
+    graph = LabeledGraph()
+    for base in (0, 10):
+        graph.add_vertex(base, "H")
+        for offset, label in enumerate(("A", "B", "C"), start=1):
+            graph.add_vertex(base + offset, label)
+            graph.add_edge(base, base + offset)
+    graph.add_vertex(20, "H")
+    graph.add_vertex(21, "A")
+    graph.add_edge(20, 21)
+    return graph
+
+
+class TestSpiderMining:
+    def test_single_vertex_spiders_for_frequent_labels(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1, max_spider_size=1)
+        labels = {s.head_label for s in spiders}
+        assert labels == {"H", "A", "B", "C"}
+        assert all(s.num_vertices == 1 for s in spiders)
+
+    def test_full_star_found(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1, max_spider_size=4)
+        full_stars = [s for s in spiders if s.num_vertices == 4 and s.head_label == "H"]
+        assert full_stars, "the H-(A,B,C) star occurs twice and must be mined"
+        star = full_stars[0]
+        assert compute_support(star, SupportMeasure.HARMFUL_OVERLAP) >= 2
+
+    def test_infrequent_structures_excluded(self):
+        graph = two_stars_graph()
+        graph.add_vertex(30, "RARE")
+        graph.add_vertex(31, "A")
+        graph.add_edge(30, 31)
+        spiders = mine_spiders(graph, min_support=2, radius=1)
+        assert all(s.head_label != "RARE" for s in spiders)
+        assert all("RARE" not in s.graph.label_set() for s in spiders)
+
+    def test_all_spiders_r_bounded_from_head(self):
+        graph = two_stars_graph()
+        for radius in (1, 2):
+            spiders = mine_spiders(graph, min_support=2, radius=radius, max_spider_size=5)
+            for spider in spiders:
+                assert is_r_bounded_from(spider.graph, spider.head, radius)
+
+    def test_all_spiders_meet_support(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1)
+        for spider in spiders:
+            assert compute_support(spider, SupportMeasure.HARMFUL_OVERLAP) >= 2
+
+    def test_embeddings_valid(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1)
+        for spider in spiders:
+            assert spider.verify_embeddings(graph)
+
+    def test_spider_codes_unique(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1)
+        codes = [s.spider_code() for s in spiders]
+        assert len(codes) == len(set(codes))
+
+    def test_radius_two_reaches_farther(self):
+        path = build_path(["A", "B", "A", "B", "A"])
+        r1 = mine_spiders(path, min_support=2, radius=1, max_spider_size=5)
+        r2 = mine_spiders(path, min_support=2, radius=2, max_spider_size=5)
+        assert max(s.num_vertices for s in r2) >= max(s.num_vertices for s in r1)
+
+    def test_max_spider_size_respected(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1, max_spider_size=2)
+        assert all(s.num_vertices <= 2 for s in spiders)
+
+    def test_max_spiders_cap(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1, max_spiders=3)
+        assert len(spiders) <= 3
+
+    def test_closing_edges_found_in_triangle_pair(self, two_copy_graph):
+        spiders = mine_spiders(two_copy_graph, min_support=2, radius=1, max_spider_size=3)
+        triangle_spiders = [s for s in spiders if s.num_edges == 3]
+        assert triangle_spiders, "the two planted triangles must yield a triangle spider"
+
+    def test_higher_support_threshold_prunes(self):
+        graph = two_stars_graph()
+        loose = mine_spiders(graph, min_support=2, radius=1)
+        strict = mine_spiders(graph, min_support=3, radius=1)
+        assert len(strict) < len(loose)
+
+    def test_empty_graph(self):
+        assert mine_spiders(LabeledGraph(), min_support=1) == []
+
+
+class TestSpiderIndex:
+    def test_index_by_head_image(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1)
+        index = build_spider_index(spiders)
+        assert 0 in index and 10 in index
+        # Every indexed entry's embedding really heads at the index key.
+        for head_image, entries in index.items():
+            for spider, embedding in entries:
+                assert dict(embedding.mapping)[spider.head] == head_image
+
+    def test_hub_vertices_have_more_spiders(self):
+        graph = two_stars_graph()
+        spiders = mine_spiders(graph, min_support=2, radius=1)
+        index = build_spider_index(spiders)
+        hub_count = len(index.get(0, []))
+        leaf_count = len(index.get(1, []))
+        assert hub_count > leaf_count
+
+
+class TestSpiderMinerConfigIntegration:
+    def test_miner_uses_config(self):
+        graph = two_stars_graph()
+        config = SpiderMineConfig(min_support=2, radius=1, max_spider_size=3)
+        spiders = SpiderMiner(graph, config).mine()
+        assert all(s.num_vertices <= 3 for s in spiders)
+
+    def test_edge_disjoint_measure(self):
+        graph = build_path(["A", "A", "A", "A"])
+        config = SpiderMineConfig(
+            min_support=2, radius=1, support_measure=SupportMeasure.EDGE_DISJOINT
+        )
+        spiders = SpiderMiner(graph, config).mine()
+        edge_spiders = [s for s in spiders if s.num_edges == 1]
+        assert edge_spiders  # three A-A edges, at least two edge-disjoint

@@ -1,0 +1,149 @@
+"""Unit tests for the single-graph support measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import LabeledGraph
+from repro.patterns import (
+    Embedding,
+    Pattern,
+    SupportMeasure,
+    compute_support,
+    edge_disjoint_support,
+    embedding_image_support,
+    harmful_overlap_support,
+    is_frequent,
+    select_disjoint_embeddings,
+)
+from tests.conftest import build_path
+
+
+def chain_graph(length: int, label: str = "A") -> LabeledGraph:
+    """A path of ``length`` vertices all with the same label."""
+    graph = LabeledGraph()
+    for i in range(length):
+        graph.add_vertex(i, label)
+    for i in range(length - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def edge_pattern(label: str = "A") -> Pattern:
+    pattern = Pattern(graph=build_path([label, label]))
+    return pattern
+
+
+class TestEmbeddingImageSupport:
+    def test_counts_distinct_images(self):
+        embeddings = [
+            Embedding.from_dict({0: 1, 1: 2}),
+            Embedding.from_dict({0: 2, 1: 1}),   # same image, other direction
+            Embedding.from_dict({0: 3, 1: 4}),
+        ]
+        assert embedding_image_support(embeddings) == 2
+
+    def test_empty(self):
+        assert embedding_image_support([]) == 0
+
+
+class TestOverlapAwareSupport:
+    def test_chain_of_three_vertices(self):
+        """A-A-A chain: 2 embeddings of the A-A edge overlap on the middle vertex."""
+        graph = chain_graph(3)
+        pattern = edge_pattern()
+        pattern.recompute_embeddings(graph)
+        assert embedding_image_support(pattern.embeddings) == 2
+        # Vertex-overlap (harmful) MIS: the two embeddings share vertex 1.
+        assert harmful_overlap_support(pattern.embeddings, pattern.graph) == 1
+        # Edge-disjoint MIS: the two embeddings use different edges.
+        assert edge_disjoint_support(pattern.embeddings, pattern.graph) == 2
+
+    def test_chain_of_five_vertices(self):
+        graph = chain_graph(5)
+        pattern = edge_pattern()
+        pattern.recompute_embeddings(graph)
+        assert harmful_overlap_support(pattern.embeddings, pattern.graph) == 2
+        assert edge_disjoint_support(pattern.embeddings, pattern.graph) == 4
+
+    def test_disjoint_copies(self, two_copy_graph):
+        pattern = Pattern(graph=build_path(["A", "B"]))
+        pattern.recompute_embeddings(two_copy_graph)
+        assert harmful_overlap_support(pattern.embeddings, pattern.graph) == 2
+        assert edge_disjoint_support(pattern.embeddings, pattern.graph) == 2
+
+    def test_single_vertex_pattern_edge_disjoint(self, two_copy_graph):
+        pattern = Pattern.single_vertex("A", two_copy_graph)
+        assert edge_disjoint_support(pattern.embeddings, pattern.graph) == 2
+
+    def test_empty_embeddings(self):
+        pattern = edge_pattern()
+        assert harmful_overlap_support([], pattern.graph) == 0
+        assert edge_disjoint_support([], pattern.graph) == 0
+
+    def test_anti_monotonicity_on_chain(self):
+        """Harmful-overlap support never increases when the pattern grows."""
+        graph = chain_graph(7)
+        small = edge_pattern()
+        small.recompute_embeddings(graph)
+        big = Pattern(graph=build_path(["A", "A", "A"]))
+        big.recompute_embeddings(graph)
+        assert harmful_overlap_support(big.embeddings, big.graph) <= harmful_overlap_support(
+            small.embeddings, small.graph
+        )
+
+
+class TestComputeSupportAndFrequency:
+    def test_compute_support_dispatch(self, two_copy_graph):
+        pattern = Pattern(graph=build_path(["A", "B"]))
+        pattern.recompute_embeddings(two_copy_graph)
+        assert compute_support(pattern, SupportMeasure.EMBEDDING_IMAGES) == 2
+        assert compute_support(pattern, SupportMeasure.EDGE_DISJOINT) == 2
+        assert compute_support(pattern, SupportMeasure.HARMFUL_OVERLAP) == 2
+
+    def test_compute_support_unknown_measure(self, two_copy_graph):
+        pattern = Pattern(graph=build_path(["A", "B"]))
+        with pytest.raises(ValueError):
+            compute_support(pattern, "not-a-measure")  # type: ignore[arg-type]
+
+    def test_is_frequent_threshold(self):
+        graph = chain_graph(3)
+        pattern = edge_pattern()
+        pattern.recompute_embeddings(graph)
+        assert is_frequent(pattern, 1)
+        assert not is_frequent(pattern, 2)  # harmful overlap collapses to 1
+        assert is_frequent(pattern, 2, measure=SupportMeasure.EDGE_DISJOINT)
+
+    def test_is_frequent_zero_threshold(self):
+        pattern = edge_pattern()
+        assert is_frequent(pattern, 0)
+
+    def test_is_frequent_short_circuits_on_raw_count(self):
+        pattern = edge_pattern()
+        pattern.add_embedding(Embedding.from_dict({0: 1, 1: 2}))
+        assert not is_frequent(pattern, 5)
+
+    def test_string_measure_coerced_by_enum(self):
+        assert SupportMeasure("harmful_overlap") is SupportMeasure.HARMFUL_OVERLAP
+
+
+class TestDisjointSelection:
+    def test_select_vertex_disjoint(self):
+        graph = chain_graph(5)
+        pattern = edge_pattern()
+        pattern.recompute_embeddings(graph)
+        chosen = select_disjoint_embeddings(pattern.embeddings, pattern.graph)
+        assert len(chosen) == 2
+        images = [set(e.image) for e in chosen]
+        assert not (images[0] & images[1])
+
+    def test_select_edge_disjoint(self):
+        graph = chain_graph(4)
+        pattern = edge_pattern()
+        pattern.recompute_embeddings(graph)
+        chosen = select_disjoint_embeddings(pattern.embeddings, pattern.graph, edge_based=True)
+        assert len(chosen) == 3
+
+    def test_select_empty(self):
+        pattern = edge_pattern()
+        assert select_disjoint_embeddings([], pattern.graph) == []

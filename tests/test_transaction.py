@@ -1,0 +1,102 @@
+"""Unit tests for the graph-transaction setting (database + SpiderMine adapter)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import LabeledGraph
+from repro.transaction import (
+    GraphDatabase,
+    database_from_graphs,
+    mine_transaction_top_k,
+    union_as_single_graph,
+)
+from tests.conftest import build_path, build_star, build_triangle
+
+
+def motif_database(num_graphs: int = 5) -> GraphDatabase:
+    """Each transaction contains the same 4-vertex motif plus unique noise."""
+    graphs = []
+    for i in range(num_graphs):
+        graph = build_star("H", ("A", "B", "C"))
+        graph.add_vertex(50, f"NOISE{i}")
+        graph.add_vertex(51, f"NOISE{i}b")
+        graph.add_edge(50, 51)
+        graphs.append(graph)
+    return GraphDatabase(graphs=graphs)
+
+
+class TestGraphDatabase:
+    def test_basic_accessors(self):
+        database = motif_database(3)
+        assert len(database) == 3
+        assert database.total_vertices == 3 * 6
+        assert database.total_edges == 3 * 4
+        assert database[0].num_vertices == 6
+        assert "H" in database.label_set()
+
+    def test_add_and_iterate(self, triangle):
+        database = GraphDatabase()
+        database.add(triangle)
+        assert len(database) == 1
+        assert list(database)[0] is triangle
+
+    def test_database_from_graphs(self, triangle, star3):
+        database = database_from_graphs([triangle, star3])
+        assert len(database) == 2
+
+    def test_transaction_support(self):
+        database = motif_database(4)
+        star = build_star("H", ("A", "B", "C"))
+        assert database.transaction_support(star) == 4
+        assert database.supporting_transactions(star) == [0, 1, 2, 3]
+        missing = build_path(["Q", "R"])
+        assert database.transaction_support(missing) == 0
+
+    def test_is_frequent_early_exit(self):
+        database = motif_database(4)
+        star = build_star("H", ("A", "B", "C"))
+        assert database.is_frequent(star, 3)
+        assert not database.is_frequent(star, 5)
+        assert database.is_frequent(build_path(["H", "A"]), 4)
+
+
+class TestUnionAsSingleGraph:
+    def test_vertices_renamed_per_transaction(self):
+        database = motif_database(2)
+        union = union_as_single_graph(database)
+        assert union.num_vertices == database.total_vertices
+        assert union.num_edges == database.total_edges
+        assert (0, 0) in union
+        assert (1, 0) in union
+
+    def test_no_cross_transaction_edges(self):
+        database = motif_database(2)
+        union = union_as_single_graph(database)
+        for u, v in union.edges():
+            assert u[0] == v[0], "edges must stay within one transaction"
+
+
+class TestTransactionAdapter:
+    def test_mines_common_motif(self):
+        database = motif_database(5)
+        result = mine_transaction_top_k(database, min_support=4, k=3, d_max=4, seed=0)
+        assert result.patterns
+        best = result.patterns[0]
+        assert best.num_vertices >= 4
+        assert all(s >= 4 for s in result.transaction_supports)
+
+    def test_supports_align_with_patterns(self):
+        database = motif_database(4)
+        result = mine_transaction_top_k(database, min_support=3, k=2, d_max=4, seed=1)
+        assert len(result.transaction_supports) == len(result.patterns)
+
+    def test_k_limit(self):
+        database = motif_database(4)
+        result = mine_transaction_top_k(database, min_support=3, k=1, d_max=4, seed=1)
+        assert len(result.patterns) <= 1
+
+    def test_parameters_mark_transaction_setting(self):
+        database = motif_database(4)
+        result = mine_transaction_top_k(database, min_support=3, k=2, d_max=4, seed=1)
+        assert result.result.parameters["setting"] == "graph-transaction"
