@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Perf smoke test: dict vs csr backend on a 100k-vertex power-law graph.
+
+Times (a) a BFS-distance sweep from a fixed sample of sources and (b) Stage I
+spider mining, on the same Barabási–Albert data graph in both backends, and
+writes the measurements to ``BENCH_graph_backend.json`` at the repo root so
+future PRs have a perf trajectory to compare against.
+
+Run:  python benchmarks/perf_smoke.py            (after ``pip install -e .``
+      or with ``PYTHONPATH=src``)
+
+Not collected by pytest (no ``test_`` prefix): this is a timed measurement,
+not a correctness check — though it does assert that both backends agree on
+the sweep results and the mined spider codes before trusting the clock.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core import mine_spiders  # noqa: E402
+from repro.graph import barabasi_albert_graph, freeze  # noqa: E402
+
+NUM_VERTICES = 100_000
+EDGES_PER_VERTEX = 2
+NUM_LABELS = 40
+SEED = 7
+BFS_SOURCES = 25
+STAGE1_MIN_SUPPORT = 60
+STAGE1_MAX_SPIDER_SIZE = 3
+RESULT_PATH = REPO_ROOT / "BENCH_graph_backend.json"
+
+
+def time_bfs_sweep(graph, sources) -> float:
+    from repro.graph import bfs_distances
+
+    start = time.perf_counter()
+    checksum = 0
+    for source in sources:
+        dist = bfs_distances(graph, source)
+        checksum += len(dist)
+    elapsed = time.perf_counter() - start
+    time_bfs_sweep.checksum = checksum  # type: ignore[attr-defined]
+    return elapsed
+
+
+def time_stage1(graph) -> float:
+    start = time.perf_counter()
+    spiders = mine_spiders(
+        graph,
+        min_support=STAGE1_MIN_SUPPORT,
+        radius=1,
+        max_spider_size=STAGE1_MAX_SPIDER_SIZE,
+        max_embeddings_per_pattern=100,
+    )
+    elapsed = time.perf_counter() - start
+    time_stage1.codes = [s.spider_code() for s in spiders]  # type: ignore[attr-defined]
+    return elapsed
+
+
+def main() -> int:
+    print(f"generating BA graph: |V|={NUM_VERTICES}, m={EDGES_PER_VERTEX} ...", flush=True)
+    build_start = time.perf_counter()
+    mutable = barabasi_albert_graph(NUM_VERTICES, EDGES_PER_VERTEX, NUM_LABELS, seed=SEED)
+    build_time = time.perf_counter() - build_start
+
+    freeze_start = time.perf_counter()
+    frozen = freeze(mutable)
+    freeze_time = time.perf_counter() - freeze_start
+    print(
+        f"built in {build_time:.2f}s (|E|={mutable.num_edges}), frozen in {freeze_time:.2f}s",
+        flush=True,
+    )
+
+    sources = list(range(0, NUM_VERTICES, NUM_VERTICES // BFS_SOURCES))[:BFS_SOURCES]
+
+    results = {}
+    for name, graph in (("dict", mutable), ("csr", frozen)):
+        bfs_seconds = time_bfs_sweep(graph, sources)
+        checksum = time_bfs_sweep.checksum  # type: ignore[attr-defined]
+        stage1_seconds = time_stage1(graph)
+        codes = time_stage1.codes  # type: ignore[attr-defined]
+        results[name] = {
+            "bfs_sweep_seconds": round(bfs_seconds, 4),
+            "bfs_checksum": checksum,
+            "stage1_seconds": round(stage1_seconds, 4),
+            "stage1_spiders": len(codes),
+            "stage1_codes_hash": hash(tuple(codes)) & 0xFFFFFFFF,
+        }
+        print(
+            f"{name:>4}: BFS sweep {bfs_seconds:.2f}s over {len(sources)} sources, "
+            f"Stage I {stage1_seconds:.2f}s ({len(codes)} spiders)",
+            flush=True,
+        )
+
+    # Both backends must agree before the timings mean anything.
+    assert results["dict"]["bfs_checksum"] == results["csr"]["bfs_checksum"]
+    assert results["dict"]["stage1_codes_hash"] == results["csr"]["stage1_codes_hash"]
+
+    payload = {
+        "benchmark": "graph_backend_perf_smoke",
+        "graph": {
+            "model": "barabasi_albert",
+            "num_vertices": NUM_VERTICES,
+            "num_edges": mutable.num_edges,
+            "edges_per_vertex": EDGES_PER_VERTEX,
+            "num_labels": NUM_LABELS,
+            "seed": SEED,
+        },
+        "freeze_seconds": round(freeze_time, 4),
+        "backends": results,
+        "speedup": {
+            "bfs_sweep": round(
+                results["dict"]["bfs_sweep_seconds"] / results["csr"]["bfs_sweep_seconds"], 2
+            ),
+            "stage1": round(
+                results["dict"]["stage1_seconds"] / results["csr"]["stage1_seconds"], 2
+            ),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"speedup: BFS {payload['speedup']['bfs_sweep']}x, Stage I {payload['speedup']['stage1']}x"
+    )
+    print(f"written to {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

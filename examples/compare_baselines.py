@@ -7,7 +7,8 @@ table — a one-dataset version of Figures 4 and 16.  The transaction-setting
 comparison against ORIGAMI (Figures 14/15) is also included on a small graph
 database.
 
-Run:  python examples/compare_baselines.py
+Run:  pip install -e .   (once; or prefix with PYTHONPATH=src)
+      python examples/compare_baselines.py
 """
 
 from __future__ import annotations

@@ -10,7 +10,8 @@ a periphery of juniors/beginners — and can be used both to find collaborative
 patterns common to different groups and to distinguish groups by their
 discriminative patterns.
 
-Run:  python examples/social_network_analysis.py
+Run:  pip install -e .   (once; or prefix with PYTHONPATH=src)
+      python examples/social_network_analysis.py
 """
 
 from __future__ import annotations

@@ -8,7 +8,8 @@ large frequent patterns SpiderMine mines are tight intra-class call clusters
 — "software backbones" useful for program comprehension, design-smell
 detection (cohesion/coupling analysis) and understanding legacy systems.
 
-Run:  python examples/software_backbone.py
+Run:  pip install -e .   (once; or prefix with PYTHONPATH=src)
+      python examples/software_backbone.py
 """
 
 from __future__ import annotations

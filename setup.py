@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so environments
+without the ``wheel`` package (where pip's PEP-660 editable build cannot run)
+can still do a legacy editable install: ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -39,9 +39,9 @@ from .core import (
     mine_top_k_patterns,
 )
 from .patterns import Pattern, SupportMeasure
-from .graph import LabeledGraph
+from .graph import FrozenGraph, GraphView, LabeledGraph, freeze, thaw
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MiningResult",
@@ -52,5 +52,9 @@ __all__ = [
     "Pattern",
     "SupportMeasure",
     "LabeledGraph",
+    "FrozenGraph",
+    "GraphView",
+    "freeze",
+    "thaw",
     "__version__",
 ]

@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from ..core.growth import Occurrence, occurrence_code, occurrences_to_pattern
 from ..core.results import MiningResult, MiningStatistics
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 from ..patterns.pattern import Pattern
 
 
@@ -37,7 +38,7 @@ class GrewConfig:
 class Grew:
     """Iterative vertex-disjoint merging of frequent adjacent instances."""
 
-    def __init__(self, graph: LabeledGraph, config: Optional[GrewConfig] = None) -> None:
+    def __init__(self, graph: GraphView, config: Optional[GrewConfig] = None) -> None:
         self.graph = graph
         self.config = config or GrewConfig()
 
@@ -135,6 +136,6 @@ class Grew:
         return chosen
 
 
-def run_grew(graph: LabeledGraph, min_support: int = 2, max_iterations: int = 10) -> MiningResult:
+def run_grew(graph: GraphView, min_support: int = 2, max_iterations: int = 10) -> MiningResult:
     """Convenience wrapper for the GREW baseline."""
     return Grew(graph, GrewConfig(min_support=min_support, max_iterations=max_iterations)).mine()

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Set
 from ..core.results import MiningResult, MiningStatistics
 from ..graph.canonical import canonical_code
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 from ..core.growth import Occurrence, occurrence_code, occurrence_support, occurrences_to_pattern
 from ..patterns.pattern import Pattern
 from ..patterns.support import SupportMeasure
@@ -52,7 +53,7 @@ class MossConfig:
 class Moss:
     """Complete frequent subgraph enumeration in a single labeled graph."""
 
-    def __init__(self, graph: LabeledGraph, config: Optional[MossConfig] = None) -> None:
+    def __init__(self, graph: GraphView, config: Optional[MossConfig] = None) -> None:
         self.graph = graph
         self.config = config or MossConfig()
         self.completed = True
@@ -165,7 +166,7 @@ class Moss:
 
 
 def run_moss(
-    graph: LabeledGraph,
+    graph: GraphView,
     min_support: int = 2,
     max_edges: int = 50,
     time_budget_seconds: Optional[float] = None,

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.results import MiningResult, MiningStatistics
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 from ..patterns.embedding import Embedding
 from ..patterns.pattern import Pattern
 from ..patterns.support import SupportMeasure, compute_support
@@ -47,7 +48,7 @@ class SeusConfig:
 class SummaryGraph:
     """The label-collapsed summary: label → label edge multiplicities."""
 
-    def __init__(self, graph: LabeledGraph) -> None:
+    def __init__(self, graph: GraphView) -> None:
         self.label_counts = dict(graph.label_counts())
         self.edge_counts: Dict[Tuple[object, object], int] = {}
         for u, v in graph.edges():
@@ -74,7 +75,7 @@ class SummaryGraph:
 class Seus:
     """Summary-guided frequent substructure extraction."""
 
-    def __init__(self, graph: LabeledGraph, config: Optional[SeusConfig] = None) -> None:
+    def __init__(self, graph: GraphView, config: Optional[SeusConfig] = None) -> None:
         self.graph = graph
         self.config = config or SeusConfig()
         self.summary = SummaryGraph(graph)
@@ -163,7 +164,7 @@ class Seus:
 
 
 def run_seus(
-    graph: LabeledGraph,
+    graph: GraphView,
     min_support: int = 2,
     max_pattern_edges: int = 6,
     num_best: int = 20,

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.results import MiningResult, MiningStatistics
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 from ..patterns.embedding import Embedding
 from ..patterns.pattern import Pattern
 from ..patterns.support import SupportMeasure, compute_support, select_disjoint_embeddings
@@ -56,7 +57,7 @@ def _description_length(num_vertices: int, num_edges: int, num_labels: int) -> f
 class Subdue:
     """Beam-search MDL substructure discovery on a single labeled graph."""
 
-    def __init__(self, graph: LabeledGraph, config: Optional[SubdueConfig] = None) -> None:
+    def __init__(self, graph: GraphView, config: Optional[SubdueConfig] = None) -> None:
         self.graph = graph
         self.config = config or SubdueConfig()
         self._num_labels = max(1, len(graph.label_set()))
@@ -176,7 +177,7 @@ class Subdue:
 
 
 def run_subdue(
-    graph: LabeledGraph,
+    graph: GraphView,
     num_best: int = 10,
     beam_width: int = 4,
     max_substructure_edges: int = 12,

@@ -34,6 +34,7 @@ from ..graph.algorithms import (
 )
 from ..graph.canonical import canonical_code
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 from ..patterns.embedding import Embedding
 from ..patterns.pattern import Pattern
 from ..patterns.spider import Spider
@@ -95,7 +96,7 @@ class CandidateEntry:
     frontier: Optional[Set[Vertex]] = None   # data vertices added by the last growth step
 
 
-def occurrence_code(data_graph: LabeledGraph, occurrence: Occurrence) -> str:
+def occurrence_code(data_graph: GraphView, occurrence: Occurrence) -> str:
     """Canonical code of the pattern an occurrence realises."""
     sub = LabeledGraph()
     for v in occurrence.vertices:
@@ -105,7 +106,7 @@ def occurrence_code(data_graph: LabeledGraph, occurrence: Occurrence) -> str:
     return canonical_code(sub)
 
 
-def occurrence_subgraph(data_graph: LabeledGraph, occurrence: Occurrence) -> LabeledGraph:
+def occurrence_subgraph(data_graph: GraphView, occurrence: Occurrence) -> LabeledGraph:
     """The labeled subgraph realised by an occurrence (its vertices + its edges)."""
     sub = LabeledGraph()
     for v in occurrence.vertices:
@@ -145,7 +146,7 @@ def occurrence_support(
     return len(greedy_maximum_independent_set(conflict))
 
 
-def occurrences_to_pattern(data_graph: LabeledGraph, occurrences: Sequence[Occurrence]) -> Pattern:
+def occurrences_to_pattern(data_graph: GraphView, occurrences: Sequence[Occurrence]) -> Pattern:
     """Convert a group of same-code occurrences into a :class:`Pattern` object.
 
     The pattern graph is the first occurrence's subgraph relabeled onto
@@ -183,7 +184,7 @@ class GrowthEngine:
 
     def __init__(
         self,
-        data_graph: LabeledGraph,
+        data_graph: GraphView,
         spider_index: Dict[Vertex, List[Tuple[Spider, Embedding]]],
         config: SpiderMineConfig,
     ) -> None:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 from ..patterns.embedding import Embedding
 from ..patterns.spider import Spider, head_distinguished_code
 from ..patterns.support import SupportMeasure, compute_support
@@ -39,9 +40,14 @@ class _Candidate:
 
 
 class SpiderMiner:
-    """Mines all frequent r-spiders of a single data graph."""
+    """Mines all frequent r-spiders of a single data graph.
 
-    def __init__(self, graph: LabeledGraph, config: Optional[SpiderMineConfig] = None) -> None:
+    ``graph`` is any read-only :class:`GraphView` — pass a
+    :class:`~repro.graph.frozen.FrozenGraph` snapshot for large inputs; the
+    miner never mutates it.  Pattern graphs under construction stay mutable.
+    """
+
+    def __init__(self, graph: GraphView, config: Optional[SpiderMineConfig] = None) -> None:
         self.graph = graph
         self.config = config or SpiderMineConfig()
 
@@ -244,7 +250,7 @@ class SpiderMiner:
 
 
 def mine_spiders(
-    graph: LabeledGraph,
+    graph: GraphView,
     min_support: int,
     radius: int = 1,
     max_spider_size: int = 6,

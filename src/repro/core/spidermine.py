@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..graph.algorithms import diameter as graph_diameter
 from ..graph.labeled_graph import LabeledGraph
+from ..graph.view import GraphView
 from ..patterns.pattern import Pattern
 from ..patterns.spider import Spider
 from .config import SpiderMineConfig
@@ -35,9 +36,15 @@ from .spider_miner import SpiderMiner, build_spider_index
 
 
 class SpiderMine:
-    """Top-K largest frequent pattern miner for a single labeled graph."""
+    """Top-K largest frequent pattern miner for a single labeled graph.
 
-    def __init__(self, graph: LabeledGraph, config: Optional[SpiderMineConfig] = None) -> None:
+    ``graph`` is any :class:`GraphView`; all three stages only read it.  For
+    large inputs freeze the graph once (``graph.freeze()`` or
+    ``repro.graph.freeze``) and mine the snapshot — the result is identical
+    on either backend for a fixed seed, the frozen run is just faster.
+    """
+
+    def __init__(self, graph: GraphView, config: Optional[SpiderMineConfig] = None) -> None:
         self.graph = graph
         self.config = config or SpiderMineConfig()
         self._rng = random.Random(self.config.seed)
@@ -159,7 +166,7 @@ class SpiderMine:
 
 
 def mine_top_k_patterns(
-    graph: LabeledGraph,
+    graph: GraphView,
     min_support: int,
     k: int = 10,
     d_max: int = 4,

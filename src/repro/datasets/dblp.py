@@ -85,6 +85,7 @@ def generate_dblp_like_graph(
     pattern_support: int = 4,
     label_shares: Optional[Dict[str, float]] = None,
     seed: Optional[int] = 0,
+    frozen: bool = False,
 ) -> DblpLikeGraph:
     """Generate the synthetic co-authorship network.
 
@@ -146,4 +147,6 @@ def generate_dblp_like_graph(
             inject_pattern(graph, motif, copies=support,
                            seed=rng.randrange(10**9), reserved=reserved)
         )
+    if frozen:
+        graph = graph.freeze()
     return DblpLikeGraph(graph=graph, collaboration_patterns=records)

@@ -47,8 +47,13 @@ class DataSetting:
         scale: float = 1.0,
         model: str = "erdos_renyi",
         max_pattern_diameter: Optional[int] = 4,
+        frozen: bool = False,
     ) -> SyntheticSingleGraph:
-        """Build the dataset, optionally scaled down by ``scale`` ∈ (0, 1]."""
+        """Build the dataset, optionally scaled down by ``scale`` ∈ (0, 1].
+
+        ``frozen=True`` hands back the data graph as an immutable CSR
+        snapshot ready for mining.
+        """
         if not 0.0 < scale <= 1.0:
             raise ValueError("scale must lie in (0, 1]")
         num_vertices = max(40, int(round(self.num_vertices * scale)))
@@ -86,6 +91,7 @@ class DataSetting:
             seed=seed if seed is not None else self.gid,
             model=model,
             max_pattern_diameter=max_pattern_diameter,
+            frozen=frozen,
         )
 
 
@@ -118,12 +124,14 @@ GID_6_10_SETTINGS: Dict[int, DataSetting] = {
 }
 
 
-def generate_gid(gid: int, seed: Optional[int] = None, scale: float = 1.0) -> SyntheticSingleGraph:
+def generate_gid(
+    gid: int, seed: Optional[int] = None, scale: float = 1.0, frozen: bool = False
+) -> SyntheticSingleGraph:
     """Generate the dataset for a GID from Table 1 (1–5) or Table 3 (6–10)."""
     if gid in GID_SETTINGS:
-        return GID_SETTINGS[gid].generate(seed=seed, scale=scale)
+        return GID_SETTINGS[gid].generate(seed=seed, scale=scale, frozen=frozen)
     if gid in GID_6_10_SETTINGS:
-        return GID_6_10_SETTINGS[gid].generate(seed=seed, scale=scale)
+        return GID_6_10_SETTINGS[gid].generate(seed=seed, scale=scale, frozen=frozen)
     raise ValueError(f"unknown GID {gid}; expected 1..10")
 
 

@@ -2,7 +2,10 @@
 
 Public surface:
 
-* :class:`LabeledGraph` and :func:`graph_from_edges` — the graph type;
+* :class:`LabeledGraph` and :func:`graph_from_edges` — the mutable builder;
+* :class:`FrozenGraph`, :func:`freeze` / :func:`thaw` — the immutable CSR
+  snapshot the miners run on, and :class:`GraphView`, the read-only protocol
+  both backends implement;
 * traversal / metric helpers (:func:`diameter`, :func:`bfs_distances`, ...);
 * :func:`canonical_code` / :func:`canonical_form` — canonical labeling;
 * :class:`SubgraphMatcher`, :func:`find_embeddings`, :func:`are_isomorphic`;
@@ -11,6 +14,8 @@ Public surface:
 """
 
 from .labeled_graph import GraphError, LabeledGraph, graph_from_edges
+from .view import GraphView
+from .frozen import GRAPH_BACKENDS, FrozenGraph, coerce_backend, freeze, thaw
 from .algorithms import (
     bfs_distances,
     center_vertices,
@@ -56,6 +61,12 @@ __all__ = [
     "GraphError",
     "LabeledGraph",
     "graph_from_edges",
+    "GraphView",
+    "FrozenGraph",
+    "GRAPH_BACKENDS",
+    "coerce_backend",
+    "freeze",
+    "thaw",
     "bfs_distances",
     "center_vertices",
     "connected_components",

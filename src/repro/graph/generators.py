@@ -21,7 +21,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .labeled_graph import LabeledGraph, Vertex
+from .frozen import FrozenGraph, freeze
+from .labeled_graph import GraphError, LabeledGraph, Vertex
+
+
+def _require_mutable(graph: LabeledGraph, operation: str) -> None:
+    if isinstance(graph, FrozenGraph):
+        raise GraphError(
+            f"{operation} mutates the graph and needs the mutable builder; "
+            "thaw() the FrozenGraph first (freeze again once construction is done)"
+        )
 
 
 def _rng(seed_or_rng: Optional[object]) -> random.Random:
@@ -50,6 +59,7 @@ def assign_random_labels(
     Works in place by rebuilding the label index; vertex identities and edges
     are preserved.
     """
+    _require_mutable(graph, "assign_random_labels")
     rng = _rng(seed)
     relabel = {v: rng.choice(list(labels)) for v in graph.vertices()}
     edges = list(graph.edges())
@@ -59,10 +69,13 @@ def assign_random_labels(
     for u, v in edges:
         fresh.add_edge(u, v)
     # Swap internals into the caller's object so the operation is in-place.
+    # Adjacency is unchanged (the neighbor cache stays valid) but every label
+    # may have moved, so the label-set cache must be dropped.
     graph._labels = fresh._labels
     graph._adj = fresh._adj
     graph._label_index = fresh._label_index
     graph._num_edges = fresh._num_edges
+    graph._label_set_cache = {}
 
 
 # ---------------------------------------------------------------------- #
@@ -220,6 +233,7 @@ def inject_pattern(
 
     Returns the injection record with the vertex maps actually used.
     """
+    _require_mutable(graph, "inject_pattern")
     rng = _rng(seed)
     record = InjectedPattern(pattern=pattern.copy())
     pattern_vertices = sorted(pattern.vertices(), key=repr)
@@ -258,6 +272,8 @@ def _set_label(graph: LabeledGraph, vertex: Vertex, label: str) -> None:
         del graph._label_index[old]
     graph._labels[vertex] = label
     graph._label_index.setdefault(label, set()).add(vertex)
+    graph._label_set_cache.pop(old, None)
+    graph._label_set_cache.pop(label, None)
 
 
 # ---------------------------------------------------------------------- #
@@ -265,7 +281,12 @@ def _set_label(graph: LabeledGraph, vertex: Vertex, label: str) -> None:
 # ---------------------------------------------------------------------- #
 @dataclass
 class SyntheticSingleGraph:
-    """A background graph plus the records of every injected pattern."""
+    """A background graph plus the records of every injected pattern.
+
+    ``graph`` is a mutable :class:`LabeledGraph` by default; when the recipe
+    is asked for a frozen snapshot (``frozen=True``) it is an immutable
+    :class:`FrozenGraph` ready for mining.
+    """
 
     graph: LabeledGraph
     large_patterns: List[InjectedPattern]
@@ -274,6 +295,14 @@ class SyntheticSingleGraph:
     @property
     def planted_large_sizes(self) -> List[int]:
         return [p.pattern.num_vertices for p in self.large_patterns]
+
+    def freeze(self) -> "SyntheticSingleGraph":
+        """The same dataset with the data graph as an immutable CSR snapshot."""
+        return SyntheticSingleGraph(
+            graph=freeze(self.graph),
+            large_patterns=self.large_patterns,
+            small_patterns=self.small_patterns,
+        )
 
 
 def synthetic_single_graph(
@@ -289,13 +318,16 @@ def synthetic_single_graph(
     seed: Optional[object] = None,
     model: str = "erdos_renyi",
     max_pattern_diameter: Optional[int] = None,
+    frozen: bool = False,
 ) -> SyntheticSingleGraph:
     """Generate a synthetic single graph exactly the way the paper does.
 
     Parameters mirror Table 1: ``|V|``, ``f``, ``d``, ``m``/``|V_L|``/``L_sup``
     for the large patterns and ``n``/``|V_S|``/``S_sup`` for the small ones.
     ``model`` selects the background generator (``"erdos_renyi"`` or
-    ``"barabasi_albert"``).
+    ``"barabasi_albert"``).  ``frozen=True`` returns the finished data graph
+    as an immutable CSR snapshot (construction still happens on the mutable
+    builder; the freeze is the last step).
     """
     rng = _rng(seed)
     labels = label_alphabet(num_labels)
@@ -332,4 +364,7 @@ def synthetic_single_graph(
             inject_pattern(graph, pattern, small_pattern_support, seed=rng, reserved=reserved)
         )
 
-    return SyntheticSingleGraph(graph=graph, large_patterns=large_records, small_patterns=small_records)
+    result = SyntheticSingleGraph(
+        graph=graph, large_patterns=large_records, small_patterns=small_records
+    )
+    return result.freeze() if frozen else result

@@ -7,7 +7,11 @@ Two plain-text formats are provided:
   ``e <src> <dst>`` lines, one graph per ``t # <id>`` block;
 * a **JSON format** mainly for round-tripping experiment artifacts.
 
-Both formats preserve vertex identities and labels exactly.
+Both formats preserve vertex identities and labels exactly.  Writers accept
+any :class:`~repro.graph.view.GraphView` (mutable or frozen); readers build
+mutable graphs by default and return immutable CSR snapshots when called with
+``frozen=True``, so a data graph can go straight from disk to the miners
+without an intermediate mutable copy lingering.
 """
 
 from __future__ import annotations
@@ -16,15 +20,18 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Union
 
+from .frozen import FrozenGraph, freeze
 from .labeled_graph import GraphError, LabeledGraph
+from .view import GraphView
 
 PathLike = Union[str, Path]
+GraphLike = Union[LabeledGraph, FrozenGraph]
 
 
 # ---------------------------------------------------------------------- #
 # edge-list (.lg) format
 # ---------------------------------------------------------------------- #
-def graphs_to_lg(graphs: Sequence[LabeledGraph]) -> str:
+def graphs_to_lg(graphs: Sequence[GraphView]) -> str:
     """Serialise a sequence of graphs in the gSpan-style text format."""
     lines: List[str] = []
     for index, graph in enumerate(graphs):
@@ -40,8 +47,11 @@ def graphs_to_lg(graphs: Sequence[LabeledGraph]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def graphs_from_lg(text: str) -> List[LabeledGraph]:
-    """Parse the gSpan-style text format produced by :func:`graphs_to_lg`."""
+def graphs_from_lg(text: str, frozen: bool = False) -> List[GraphLike]:
+    """Parse the gSpan-style text format produced by :func:`graphs_to_lg`.
+
+    ``frozen=True`` returns immutable CSR snapshots instead of mutable graphs.
+    """
     graphs: List[LabeledGraph] = []
     current: LabeledGraph = LabeledGraph()
     started = False
@@ -68,21 +78,23 @@ def graphs_from_lg(text: str) -> List[LabeledGraph]:
             raise GraphError(f"line {line_number}: unknown record type {kind!r}")
     if started:
         graphs.append(current)
+    if frozen:
+        return [freeze(g) for g in graphs]
     return graphs
 
 
-def write_lg(graphs: Sequence[LabeledGraph], path: PathLike) -> None:
+def write_lg(graphs: Sequence[GraphView], path: PathLike) -> None:
     Path(path).write_text(graphs_to_lg(graphs), encoding="utf-8")
 
 
-def read_lg(path: PathLike) -> List[LabeledGraph]:
-    return graphs_from_lg(Path(path).read_text(encoding="utf-8"))
+def read_lg(path: PathLike, frozen: bool = False) -> List[GraphLike]:
+    return graphs_from_lg(Path(path).read_text(encoding="utf-8"), frozen=frozen)
 
 
 # ---------------------------------------------------------------------- #
 # JSON format
 # ---------------------------------------------------------------------- #
-def graph_to_dict(graph: LabeledGraph) -> Dict:
+def graph_to_dict(graph: GraphView) -> Dict:
     """A JSON-serialisable dict for one graph (vertex ids coerced to str keys)."""
     return {
         "vertices": {str(v): graph.label(v) for v in graph.vertices()},
@@ -90,7 +102,7 @@ def graph_to_dict(graph: LabeledGraph) -> Dict:
     }
 
 
-def graph_from_dict(data: Dict) -> LabeledGraph:
+def graph_from_dict(data: Dict, frozen: bool = False) -> GraphLike:
     """Inverse of :func:`graph_to_dict`.  Vertex ids become strings or ints."""
     graph = LabeledGraph()
 
@@ -101,14 +113,14 @@ def graph_from_dict(data: Dict) -> LabeledGraph:
         graph.add_vertex(coerce(key), label)
     for u, v in data["edges"]:
         graph.add_edge(coerce(u), coerce(v))
-    return graph
+    return freeze(graph) if frozen else graph
 
 
-def write_json(graphs: Sequence[LabeledGraph], path: PathLike) -> None:
+def write_json(graphs: Sequence[GraphView], path: PathLike) -> None:
     payload = [graph_to_dict(g) for g in graphs]
     Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
 
-def read_json(path: PathLike) -> List[LabeledGraph]:
+def read_json(path: PathLike, frozen: bool = False) -> List[GraphLike]:
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    return [graph_from_dict(item) for item in payload]
+    return [graph_from_dict(item, frozen=frozen) for item in payload]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .labeled_graph import LabeledGraph, Vertex
+from .view import GraphView
 
 Mapping = Dict[Vertex, Vertex]
 
@@ -36,7 +37,7 @@ class SubgraphMatcher:
     def __init__(
         self,
         pattern: LabeledGraph,
-        target: LabeledGraph,
+        target: GraphView,
         induced: bool = False,
     ) -> None:
         self.pattern = pattern
@@ -210,7 +211,7 @@ class SubgraphMatcher:
 # ---------------------------------------------------------------------- #
 def find_embeddings(
     pattern: LabeledGraph,
-    target: LabeledGraph,
+    target: GraphView,
     limit: Optional[int] = None,
     induced: bool = False,
 ) -> List[Mapping]:
@@ -218,12 +219,12 @@ def find_embeddings(
     return SubgraphMatcher(pattern, target, induced=induced).find_embeddings(limit=limit)
 
 
-def subgraph_exists(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+def subgraph_exists(pattern: LabeledGraph, target: GraphView) -> bool:
     """Whether ``pattern`` has at least one embedding in ``target``."""
     return SubgraphMatcher(pattern, target).exists()
 
 
-def are_isomorphic(first: LabeledGraph, second: LabeledGraph) -> bool:
+def are_isomorphic(first: GraphView, second: GraphView) -> bool:
     """Exact labeled graph isomorphism via bidirectional size checks + VF2."""
     if first.num_vertices != second.num_vertices or first.num_edges != second.num_edges:
         return False

@@ -36,7 +36,16 @@ class LabeledGraph:
         so only ``directed=False`` is supported; passing ``True`` raises.
     """
 
-    __slots__ = ("_labels", "_adj", "_label_index", "_num_edges")
+    __slots__ = (
+        "_labels",
+        "_adj",
+        "_label_index",
+        "_num_edges",
+        "_neighbor_cache",
+        "_label_set_cache",
+        "_serial",
+        "_next_serial",
+    )
 
     def __init__(self, directed: bool = False) -> None:
         if directed:
@@ -45,6 +54,16 @@ class LabeledGraph:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._label_index: Dict[Label, Set[Vertex]] = {}
         self._num_edges = 0
+        # Memoised neighbors() / vertices_with_label() frozensets, invalidated
+        # on mutation.  Built in canonical (repr-sorted) insertion order so the
+        # returned sets iterate identically across backends — see
+        # FrozenGraph.neighbors.
+        self._neighbor_cache: Dict[Vertex, FrozenSet[Vertex]] = {}
+        self._label_set_cache: Dict[Label, FrozenSet[Vertex]] = {}
+        # Monotonic insertion serial per vertex: lets subgraph() recover
+        # insertion order for a small selection without scanning the graph.
+        self._serial: Dict[Vertex, int] = {}
+        self._next_serial = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -61,6 +80,9 @@ class LabeledGraph:
         self._labels[vertex] = label
         self._adj[vertex] = set()
         self._label_index.setdefault(label, set()).add(vertex)
+        self._label_set_cache.pop(label, None)
+        self._serial[vertex] = self._next_serial
+        self._next_serial += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``{u, v}``.  Both endpoints must exist."""
@@ -74,6 +96,8 @@ class LabeledGraph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._neighbor_cache.pop(u, None)
+        self._neighbor_cache.pop(v, None)
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``{u, v}`` if present; raise if absent."""
@@ -82,18 +106,30 @@ class LabeledGraph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._neighbor_cache.pop(u, None)
+        self._neighbor_cache.pop(v, None)
 
     def remove_vertex(self, vertex: Vertex) -> None:
-        """Remove ``vertex`` and all incident edges."""
+        """Remove ``vertex`` and all incident edges in O(deg) time.
+
+        Neighbors are unlinked directly instead of going through
+        :meth:`remove_edge`, whose per-edge membership re-checks would make
+        vertex removal quadratic in dense neighborhoods.
+        """
         if vertex not in self._labels:
             raise GraphError(f"vertex {vertex!r} does not exist")
-        for neighbor in list(self._adj[vertex]):
-            self.remove_edge(vertex, neighbor)
+        incident = self._adj.pop(vertex)
+        self._neighbor_cache.pop(vertex, None)
+        for neighbor in incident:
+            self._adj[neighbor].discard(vertex)
+            self._neighbor_cache.pop(neighbor, None)
+        self._num_edges -= len(incident)
         label = self._labels.pop(vertex)
         self._label_index[label].discard(vertex)
+        self._label_set_cache.pop(label, None)
         if not self._label_index[label]:
             del self._label_index[label]
-        del self._adj[vertex]
+        del self._serial[vertex]
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -119,13 +155,20 @@ class LabeledGraph:
         return iter(self._labels)
 
     def edges(self) -> Iterator[Edge]:
-        """Yield each undirected edge exactly once."""
-        seen: Set[Vertex] = set()
+        """Yield each undirected edge exactly once, in canonical order.
+
+        Edges are emitted at their earlier-added endpoint, later endpoints in
+        insertion order — exactly the order ``FrozenGraph.edges`` produces
+        from its index-sorted rows, so consumers that truncate or tie-break
+        on edge order behave identically on both backends.
+        """
+        position = {v: i for i, v in enumerate(self._labels)}
         for u in self._labels:
-            for v in self._adj[u]:
-                if v not in seen:
-                    yield (u, v)
-            seen.add(u)
+            u_position = position[u]
+            later = [v for v in self._adj[u] if position[v] > u_position]
+            later.sort(key=position.__getitem__)
+            for v in later:
+                yield (u, v)
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         return u in self._adj and v in self._adj[u]
@@ -148,13 +191,30 @@ class LabeledGraph:
         return Counter({label: len(vs) for label, vs in self._label_index.items()})
 
     def vertices_with_label(self, label: Label) -> FrozenSet[Vertex]:
-        return frozenset(self._label_index.get(label, frozenset()))
+        cached = self._label_set_cache.get(label)
+        if cached is None:
+            members = self._label_index.get(label)
+            if not members:
+                return frozenset()
+            # Canonical insertion order: identical layout on every backend.
+            cached = frozenset(sorted(members, key=repr))
+            self._label_set_cache[label] = cached
+        return cached
 
     def neighbors(self, vertex: Vertex) -> FrozenSet[Vertex]:
-        try:
-            return frozenset(self._adj[vertex])
-        except KeyError:
-            raise GraphError(f"vertex {vertex!r} does not exist") from None
+        cached = self._neighbor_cache.get(vertex)
+        if cached is None:
+            try:
+                adjacent = self._adj[vertex]
+            except KeyError:
+                raise GraphError(f"vertex {vertex!r} does not exist") from None
+            # Canonical insertion order: a frozenset's iteration order depends
+            # on the order its elements were inserted (collision resolution),
+            # so building from a sorted sequence makes iteration identical to
+            # the same set built by any other backend.
+            cached = frozenset(sorted(adjacent, key=repr))
+            self._neighbor_cache[vertex] = cached
+        return cached
 
     def degree(self, vertex: Vertex) -> int:
         try:
@@ -181,21 +241,34 @@ class LabeledGraph:
         other._adj = {v: set(n) for v, n in self._adj.items()}
         other._label_index = {l: set(vs) for l, vs in self._label_index.items()}
         other._num_edges = self._num_edges
+        other._neighbor_cache = dict(self._neighbor_cache)
+        other._label_set_cache = dict(self._label_set_cache)
+        other._serial = dict(self._serial)
+        other._next_serial = self._next_serial
         return other
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "LabeledGraph":
-        """The induced subgraph on ``vertices``."""
+        """The induced subgraph on ``vertices``.
+
+        Vertices and edges are added in this graph's insertion order (not the
+        hash order of the ``vertices`` set), matching ``FrozenGraph.subgraph``
+        so derived subgraphs iterate identically on both backends.
+        """
         selected = set(vertices)
         unknown = selected - self._labels.keys()
         if unknown:
             raise GraphError(f"vertices not in graph: {sorted(map(repr, unknown))}")
+        ordered = sorted(selected, key=self._serial.__getitem__)
+        position = {v: i for i, v in enumerate(ordered)}
         sub = LabeledGraph()
-        for v in selected:
+        for v in ordered:
             sub.add_vertex(v, self._labels[v])
-        for v in selected:
-            for u in self._adj[v]:
-                if u in selected and not sub.has_edge(u, v):
-                    sub.add_edge(u, v)
+        for v in ordered:
+            v_position = position[v]
+            later = [u for u in self._adj[v] if position.get(u, -1) > v_position]
+            later.sort(key=position.__getitem__)
+            for u in later:
+                sub.add_edge(v, u)
         return sub
 
     def edge_subgraph(self, edge_list: Iterable[Edge]) -> "LabeledGraph":
@@ -244,6 +317,17 @@ class LabeledGraph:
     def neighborhood_subgraph(self, source: Vertex, radius: int) -> "LabeledGraph":
         """The induced subgraph on the ``radius``-ball around ``source``."""
         return self.subgraph(self.bfs_within(source, radius))
+
+    def freeze(self) -> "FrozenGraph":
+        """An immutable CSR snapshot of this graph (see :mod:`repro.graph.frozen`).
+
+        The snapshot shares nothing with this graph: later mutations here do
+        not affect it.  Freeze the data graph once after construction and run
+        the miners on the snapshot; keep pattern graphs mutable.
+        """
+        from .frozen import FrozenGraph
+
+        return FrozenGraph(self)
 
     # ------------------------------------------------------------------ #
     # dunder / misc

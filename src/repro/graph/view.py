@@ -1,0 +1,78 @@
+"""The read-only graph protocol shared by every backend.
+
+SpiderMine separates two very different graph roles:
+
+* **construction** — datasets are assembled edge by edge, labels get
+  overwritten during pattern injection, and pattern graphs grow one vertex at
+  a time.  This needs a mutable representation
+  (:class:`~repro.graph.labeled_graph.LabeledGraph`).
+* **mining** — Stage I/II/III and all baselines only *read* the data graph:
+  neighbor probes, label lookups, BFS sweeps.  This is the hot path, and it
+  benefits from an immutable, array-compacted representation
+  (:class:`~repro.graph.frozen.FrozenGraph`).
+
+:class:`GraphView` is the structural protocol both implement.  Every function
+that only reads a graph is annotated with it, so any object providing the
+surface below — including future backends (mmap-backed, sharded, remote) —
+can be dropped into the miners without touching them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Protocol,
+    Set,
+    runtime_checkable,
+)
+
+from .labeled_graph import Edge, Label, Vertex
+
+
+@runtime_checkable
+class GraphView(Protocol):
+    """Read-only surface of a vertex-labeled undirected graph.
+
+    Implementations: :class:`~repro.graph.labeled_graph.LabeledGraph`
+    (mutable, dict-of-sets) and :class:`~repro.graph.frozen.FrozenGraph`
+    (immutable, CSR).  ``isinstance(obj, GraphView)`` performs a structural
+    check (``typing.runtime_checkable``): it verifies the methods exist, not
+    their signatures.
+    """
+
+    # -- size ----------------------------------------------------------- #
+    def __contains__(self, vertex: Vertex) -> bool: ...
+    def __len__(self) -> int: ...
+    def __iter__(self) -> Iterator[Vertex]: ...
+
+    @property
+    def num_vertices(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    # -- vertices, edges, labels ---------------------------------------- #
+    def vertices(self) -> Iterator[Vertex]: ...
+    def edges(self) -> Iterator[Edge]: ...
+    def has_edge(self, u: Vertex, v: Vertex) -> bool: ...
+    def label(self, vertex: Vertex) -> Label: ...
+    def labels(self) -> Dict[Vertex, Label]: ...
+    def label_set(self) -> Set[Label]: ...
+    def label_counts(self) -> Counter: ...
+    def vertices_with_label(self, label: Label) -> FrozenSet[Vertex]: ...
+
+    # -- local structure ------------------------------------------------- #
+    def neighbors(self, vertex: Vertex) -> FrozenSet[Vertex]: ...
+    def degree(self, vertex: Vertex) -> int: ...
+    def average_degree(self) -> float: ...
+    def max_degree(self) -> int: ...
+    def degree_sequence(self) -> List[int]: ...
+    def density(self) -> float: ...
+
+    # -- traversal / derived graphs -------------------------------------- #
+    def bfs_within(self, source: Vertex, radius: int) -> Dict[Vertex, int]: ...
+    def subgraph(self, vertices) -> "object": ...

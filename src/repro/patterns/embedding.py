@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 
 
 @dataclass(frozen=True)
@@ -79,7 +80,7 @@ class Embedding:
         images = [g for _, g in self.mapping]
         return len(images) == len(set(images))
 
-    def is_valid(self, pattern: LabeledGraph, graph: LabeledGraph) -> bool:
+    def is_valid(self, pattern: LabeledGraph, graph: GraphView) -> bool:
         """Full validity check: injective, label-preserving, edge-preserving."""
         lookup = dict(self.mapping)
         if set(lookup) != set(pattern.vertices()):

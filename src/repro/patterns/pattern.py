@@ -15,6 +15,7 @@ from ..graph.algorithms import diameter as graph_diameter
 from ..graph.canonical import canonical_code
 from ..graph.isomorphism import SubgraphMatcher
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 from .embedding import Embedding
 
 
@@ -30,7 +31,7 @@ class Pattern:
     # construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_subgraph(cls, data_graph: LabeledGraph, vertices: Iterable[Vertex]) -> "Pattern":
+    def from_subgraph(cls, data_graph: GraphView, vertices: Iterable[Vertex]) -> "Pattern":
         """The pattern induced by ``vertices`` of the data graph, with the identity embedding."""
         vertex_list = list(vertices)
         sub = data_graph.subgraph(vertex_list)
@@ -38,7 +39,7 @@ class Pattern:
         return cls(graph=sub, embeddings=[embedding])
 
     @classmethod
-    def single_vertex(cls, label, data_graph: Optional[LabeledGraph] = None) -> "Pattern":
+    def single_vertex(cls, label, data_graph: Optional[GraphView] = None) -> "Pattern":
         """The one-vertex pattern with ``label``; embeddings filled from ``data_graph`` if given."""
         g = LabeledGraph()
         g.add_vertex(0, label)
@@ -113,7 +114,7 @@ class Pattern:
             covered |= embedding.image
         return covered
 
-    def recompute_embeddings(self, data_graph: LabeledGraph, limit: Optional[int] = None) -> None:
+    def recompute_embeddings(self, data_graph: GraphView, limit: Optional[int] = None) -> None:
         """Re-enumerate all embeddings from scratch using the subgraph matcher."""
         matcher = SubgraphMatcher(self.graph, data_graph)
         self.embeddings = [
@@ -121,7 +122,7 @@ class Pattern:
         ]
         self.deduplicate_embeddings()
 
-    def verify_embeddings(self, data_graph: LabeledGraph) -> bool:
+    def verify_embeddings(self, data_graph: GraphView) -> bool:
         """Whether every stored embedding is a valid embedding of the pattern."""
         return all(e.is_valid(self.graph, data_graph) for e in self.embeddings)
 

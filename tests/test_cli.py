@@ -70,6 +70,28 @@ class TestMineCommand:
             main(["mine", "does-not-exist.lg"])
 
 
+class TestBackendOption:
+    def test_backend_defaults_to_csr(self):
+        args = build_parser().parse_args(["mine", "g.lg"])
+        assert args.backend == "csr"
+        args = build_parser().parse_args(["spiders", "g.lg", "--backend", "dict"])
+        assert args.backend == "dict"
+
+    def test_mine_output_identical_across_backends(self, tiny_graph_file, capsys):
+        outputs = {}
+        for backend in ("dict", "csr"):
+            code = main([
+                "mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                "--dmax", "2", "--backend", backend,
+            ])
+            assert code == 0
+            printed = capsys.readouterr().out
+            # Drop the summary line, whose runtime field is nondeterministic.
+            outputs[backend] = [l for l in printed.splitlines() if l.startswith("  #")]
+        assert outputs["dict"] == outputs["csr"]
+        assert outputs["csr"]
+
+
 class TestGenerateCommand:
     def test_generate_writes_lg(self, tmp_path, capsys):
         out = tmp_path / "gid1.lg"

@@ -1,0 +1,232 @@
+"""FrozenGraph ≡ LabeledGraph: property tests over random graphs.
+
+The CSR snapshot must be observationally identical to the mutable builder on
+the whole read surface — neighbors, labels, BFS distances, components — and
+``freeze()`` / ``thaw()`` must round-trip.  Random graphs are generated with
+hypothesis so the equivalence is exercised over many shapes (empty graphs,
+isolated vertices, dense cores, string labels, non-contiguous ids).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    FrozenGraph,
+    GraphError,
+    GraphView,
+    LabeledGraph,
+    bfs_distances,
+    coerce_backend,
+    connected_components,
+    degree_histogram,
+    diameter,
+    freeze,
+    is_connected,
+    is_r_bounded_from,
+    shortest_path_length,
+    thaw,
+)
+
+# ---------------------------------------------------------------------- #
+# random graph strategy
+# ---------------------------------------------------------------------- #
+LABELS = ("A", "B", "C", "D")
+
+
+@st.composite
+def labeled_graphs(draw) -> LabeledGraph:
+    """A random LabeledGraph with 0..12 vertices and arbitrary edges."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    # Non-contiguous, shuffled vertex ids so index mapping is non-trivial.
+    ids = draw(
+        st.lists(st.integers(min_value=0, max_value=99), min_size=n, max_size=n, unique=True)
+    )
+    graph = LabeledGraph()
+    for v in ids:
+        graph.add_vertex(v, draw(st.sampled_from(LABELS)))
+    if n >= 2:
+        possible = [(u, v) for i, u in enumerate(ids) for v in ids[i + 1:]]
+        edges = draw(st.lists(st.sampled_from(possible), max_size=3 * n, unique=True))
+        for u, v in edges:
+            graph.add_edge(u, v)
+    return graph
+
+
+# ---------------------------------------------------------------------- #
+# observational equivalence
+# ---------------------------------------------------------------------- #
+@given(labeled_graphs())
+@settings(max_examples=120, deadline=None)
+def test_frozen_matches_mutable_read_surface(graph):
+    frozen = freeze(graph)
+    assert isinstance(frozen, FrozenGraph)
+    assert isinstance(frozen, GraphView)
+
+    assert frozen.num_vertices == graph.num_vertices
+    assert frozen.num_edges == graph.num_edges
+    assert list(frozen.vertices()) == list(graph.vertices())
+    assert frozen.labels() == graph.labels()
+    assert frozen.label_set() == graph.label_set()
+    assert frozen.label_counts() == graph.label_counts()
+    # Same edges in the same order: consumers that truncate or tie-break on
+    # the edge stream (SUBDUE/MoSS candidate caps) rely on this.
+    assert list(frozen.edges()) == list(graph.edges())
+    for label in LABELS:
+        assert frozen.vertices_with_label(label) == graph.vertices_with_label(label)
+    for v in graph.vertices():
+        assert v in frozen
+        assert frozen.label(v) == graph.label(v)
+        assert frozen.degree(v) == graph.degree(v)
+        assert frozen.neighbors(v) == graph.neighbors(v)
+        # Identical layout, not just identical contents: iteration must agree
+        # so that mining is backend-deterministic.
+        assert list(frozen.neighbors(v)) == list(graph.neighbors(v))
+    for u in graph.vertices():
+        for v in graph.vertices():
+            assert frozen.has_edge(u, v) == graph.has_edge(u, v)
+    assert frozen.degree_sequence() == graph.degree_sequence()
+    assert frozen.max_degree() == graph.max_degree()
+    assert frozen.density() == pytest.approx(graph.density())
+    assert frozen == graph
+
+
+@given(labeled_graphs())
+@settings(max_examples=100, deadline=None)
+def test_frozen_matches_mutable_traversals(graph):
+    frozen = freeze(graph)
+    for v in graph.vertices():
+        assert bfs_distances(frozen, v) == bfs_distances(graph, v)
+        assert frozen.bfs_within(v, 2) == graph.bfs_within(v, 2)
+        assert is_r_bounded_from(frozen, v, 1) == is_r_bounded_from(graph, v, 1)
+    assert sorted(map(sorted, connected_components(frozen))) == sorted(
+        map(sorted, connected_components(graph))
+    )
+    # Derived subgraphs iterate identically too (insertion order on both
+    # backends), so order-sensitive consumers of a subgraph stay parity-safe.
+    half = [v for i, v in enumerate(graph.vertices()) if i % 2 == 0]
+    assert list(frozen.subgraph(half).vertices()) == list(graph.subgraph(half).vertices())
+    assert list(frozen.subgraph(half).edges()) == list(graph.subgraph(half).edges())
+    assert is_connected(frozen) == is_connected(graph)
+    assert degree_histogram(frozen) == degree_histogram(graph)
+    if is_connected(graph):
+        assert diameter(frozen) == diameter(graph)
+
+
+@given(labeled_graphs())
+@settings(max_examples=100, deadline=None)
+def test_freeze_thaw_round_trip(graph):
+    frozen = freeze(graph)
+    thawed = thaw(frozen)
+    assert isinstance(thawed, LabeledGraph)
+    assert thawed == graph
+    assert freeze(thawed) == frozen
+    # freeze of a frozen graph is the identity; thaw of a mutable one too.
+    assert freeze(frozen) is frozen
+    assert thaw(graph) is graph
+
+
+# ---------------------------------------------------------------------- #
+# immutability and derived graphs
+# ---------------------------------------------------------------------- #
+def small_graph() -> LabeledGraph:
+    graph = LabeledGraph()
+    for i, label in enumerate("ABCA"):
+        graph.add_vertex(i, label)
+    for u, v in [(0, 1), (1, 2), (2, 3), (0, 2)]:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestFrozenGraphBehaviour:
+    def test_mutators_raise(self):
+        frozen = small_graph().freeze()
+        with pytest.raises(GraphError):
+            frozen.add_vertex(9, "Z")
+        with pytest.raises(GraphError):
+            frozen.add_edge(0, 3)
+        with pytest.raises(GraphError):
+            frozen.remove_edge(0, 1)
+        with pytest.raises(GraphError):
+            frozen.remove_vertex(0)
+
+    def test_snapshot_is_independent_of_builder(self):
+        graph = small_graph()
+        frozen = graph.freeze()
+        graph.add_vertex(9, "Z")
+        graph.add_edge(0, 9)
+        assert 9 not in frozen
+        assert frozen.num_edges == 4
+
+    def test_copy_returns_self(self):
+        frozen = small_graph().freeze()
+        assert frozen.copy() is frozen
+
+    def test_missing_vertex_raises(self):
+        frozen = small_graph().freeze()
+        with pytest.raises(GraphError):
+            frozen.label(99)
+        with pytest.raises(GraphError):
+            frozen.neighbors(99)
+        with pytest.raises(GraphError):
+            frozen.degree(99)
+
+    def test_subgraph_is_mutable(self):
+        frozen = small_graph().freeze()
+        sub = frozen.subgraph([0, 1, 2])
+        assert isinstance(sub, LabeledGraph)
+        assert sub.num_vertices == 3 and sub.num_edges == 3
+        sub.add_vertex(7, "Q")  # mutable again
+
+    def test_neighborhood_subgraph(self):
+        graph = small_graph()
+        frozen = graph.freeze()
+        assert frozen.neighborhood_subgraph(0, 1) == graph.neighborhood_subgraph(0, 1)
+
+    def test_coerce_backend(self):
+        graph = small_graph()
+        frozen = coerce_backend(graph, "csr")
+        assert isinstance(frozen, FrozenGraph)
+        assert coerce_backend(frozen, "csr") is frozen
+        assert coerce_backend(graph, "dict") is graph
+        assert coerce_backend(frozen, "dict") == graph
+        with pytest.raises(GraphError):
+            coerce_backend(graph, "numpy")
+
+    def test_empty_graph(self):
+        frozen = LabeledGraph().freeze()
+        assert frozen.num_vertices == 0
+        assert frozen.num_edges == 0
+        assert list(frozen.edges()) == []
+        assert frozen.degree_sequence() == []
+        assert frozen.max_degree() == 0
+
+
+class TestEndpointValidation:
+    """shortest_path_length must reject a missing source like a missing target."""
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_missing_source_raises(self, backend):
+        graph = coerce_backend(small_graph(), backend)
+        with pytest.raises(GraphError, match="does not exist"):
+            shortest_path_length(graph, 99, 0)
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_missing_target_raises(self, backend):
+        graph = coerce_backend(small_graph(), backend)
+        with pytest.raises(GraphError, match="does not exist"):
+            shortest_path_length(graph, 0, 99)
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_disconnected_raises(self, backend):
+        builder = small_graph()
+        builder.add_vertex(9, "Z")
+        graph = coerce_backend(builder, backend)
+        with pytest.raises(GraphError, match="not connected"):
+            shortest_path_length(graph, 0, 9)
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_path_length(self, backend):
+        graph = coerce_backend(small_graph(), backend)
+        assert shortest_path_length(graph, 0, 3) == 2
