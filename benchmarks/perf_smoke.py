@@ -1,22 +1,32 @@
 #!/usr/bin/env python3
-"""Perf smoke test: dict vs csr backend on a 100k-vertex power-law graph.
+"""Perf smoke test: graph backends and the parallel mining engine.
 
-Times (a) a BFS-distance sweep from a fixed sample of sources and (b) Stage I
-spider mining, on the same Barabási–Albert data graph in both backends, and
-writes the measurements to ``BENCH_graph_backend.json`` at the repo root so
-future PRs have a perf trajectory to compare against.
+Two measurement suites over the same Barabási–Albert power-law data graph:
 
-Run:  python benchmarks/perf_smoke.py            (after ``pip install -e .``
-      or with ``PYTHONPATH=src``)
+* **backend** — dict vs csr on (a) a BFS-distance sweep from a fixed sample
+  of sources and (b) a light Stage-I spider-mining pass; written to
+  ``BENCH_graph_backend.json``.
+* **parallel** — serial vs ``--workers N`` process-pool execution of a heavy
+  Stage-I pass (the embarrassingly parallel stage the engine fans out);
+  written to ``BENCH_parallel_mining.json`` together with the host CPU count,
+  because the achievable speedup is bounded by physical cores.
 
-Not collected by pytest (no ``test_`` prefix): this is a timed measurement,
-not a correctness check — though it does assert that both backends agree on
-the sweep results and the mined spider codes before trusting the clock.
+Run:  python benchmarks/perf_smoke.py             (full, ~minutes)
+      python benchmarks/perf_smoke.py --quick     (CI smoke, small graph)
+
+Both profiles assert result parity — backends must agree, and parallel runs
+must be bit-identical to serial — before trusting the clock, so the smoke
+doubles as an end-to-end integration check.  Not collected by pytest (no
+``test_`` prefix): timings carry no thresholds; CI only requires this script
+to finish and uploads the JSON as an artifact.
 """
 
 from __future__ import annotations
 
+import argparse
+import hashlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -28,94 +38,89 @@ if str(SRC) not in sys.path:
 
 from repro.core import mine_spiders  # noqa: E402
 from repro.graph import barabasi_albert_graph, freeze  # noqa: E402
+from repro.parallel import ExecutionPolicy  # noqa: E402
 
-NUM_VERTICES = 100_000
 EDGES_PER_VERTEX = 2
 NUM_LABELS = 40
 SEED = 7
-BFS_SOURCES = 25
-STAGE1_MIN_SUPPORT = 60
-STAGE1_MAX_SPIDER_SIZE = 3
-RESULT_PATH = REPO_ROOT / "BENCH_graph_backend.json"
+BACKEND_RESULT_PATH = REPO_ROOT / "BENCH_graph_backend.json"
+PARALLEL_RESULT_PATH = REPO_ROOT / "BENCH_parallel_mining.json"
+
+#: profile -> (num_vertices, bfs_sources,
+#:             backend stage1 (support, size, emb cap),
+#:             parallel stage1 (support, size, emb cap))
+PROFILES = {
+    "full": (100_000, 25, (60, 3, 100), (30, 4, 400)),
+    "quick": (10_000, 5, (30, 3, 100), (12, 4, 200)),
+}
 
 
-def time_bfs_sweep(graph, sources) -> float:
+def spider_digest(spiders) -> str:
+    """Process-independent fingerprint of a Stage-I result, order included."""
+    blob = "\n".join(
+        f"{s.spider_code()}|{len(s.embeddings)}" for s in spiders
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def time_bfs_sweep(graph, sources):
     from repro.graph import bfs_distances
 
     start = time.perf_counter()
     checksum = 0
     for source in sources:
-        dist = bfs_distances(graph, source)
-        checksum += len(dist)
-    elapsed = time.perf_counter() - start
-    time_bfs_sweep.checksum = checksum  # type: ignore[attr-defined]
-    return elapsed
+        checksum += len(bfs_distances(graph, source))
+    return time.perf_counter() - start, checksum
 
 
-def time_stage1(graph) -> float:
+def time_stage1(graph, params, execution=None):
+    support, size, emb_cap = params
     start = time.perf_counter()
     spiders = mine_spiders(
         graph,
-        min_support=STAGE1_MIN_SUPPORT,
+        min_support=support,
         radius=1,
-        max_spider_size=STAGE1_MAX_SPIDER_SIZE,
-        max_embeddings_per_pattern=100,
+        max_spider_size=size,
+        max_embeddings_per_pattern=emb_cap,
+        execution=execution,
     )
-    elapsed = time.perf_counter() - start
-    time_stage1.codes = [s.spider_code() for s in spiders]  # type: ignore[attr-defined]
-    return elapsed
+    return time.perf_counter() - start, spiders
 
 
-def main() -> int:
-    print(f"generating BA graph: |V|={NUM_VERTICES}, m={EDGES_PER_VERTEX} ...", flush=True)
-    build_start = time.perf_counter()
-    mutable = barabasi_albert_graph(NUM_VERTICES, EDGES_PER_VERTEX, NUM_LABELS, seed=SEED)
-    build_time = time.perf_counter() - build_start
-
-    freeze_start = time.perf_counter()
-    frozen = freeze(mutable)
-    freeze_time = time.perf_counter() - freeze_start
-    print(
-        f"built in {build_time:.2f}s (|E|={mutable.num_edges}), frozen in {freeze_time:.2f}s",
-        flush=True,
-    )
-
-    sources = list(range(0, NUM_VERTICES, NUM_VERTICES // BFS_SOURCES))[:BFS_SOURCES]
-
+def run_backend_suite(profile, mutable, frozen, freeze_time, graph_meta):
+    num_vertices, bfs_sources, stage1_params, _ = PROFILES[profile]
+    sources = list(range(0, num_vertices, num_vertices // bfs_sources))[:bfs_sources]
     results = {}
     for name, graph in (("dict", mutable), ("csr", frozen)):
-        bfs_seconds = time_bfs_sweep(graph, sources)
-        checksum = time_bfs_sweep.checksum  # type: ignore[attr-defined]
-        stage1_seconds = time_stage1(graph)
-        codes = time_stage1.codes  # type: ignore[attr-defined]
+        bfs_seconds, checksum = time_bfs_sweep(graph, sources)
+        stage1_seconds, spiders = time_stage1(graph, stage1_params)
         results[name] = {
             "bfs_sweep_seconds": round(bfs_seconds, 4),
             "bfs_checksum": checksum,
             "stage1_seconds": round(stage1_seconds, 4),
-            "stage1_spiders": len(codes),
-            "stage1_codes_hash": hash(tuple(codes)) & 0xFFFFFFFF,
+            "stage1_spiders": len(spiders),
+            "stage1_digest": spider_digest(spiders),
         }
         print(
             f"{name:>4}: BFS sweep {bfs_seconds:.2f}s over {len(sources)} sources, "
-            f"Stage I {stage1_seconds:.2f}s ({len(codes)} spiders)",
+            f"Stage I {stage1_seconds:.2f}s ({len(spiders)} spiders)",
             flush=True,
         )
 
     # Both backends must agree before the timings mean anything.
     assert results["dict"]["bfs_checksum"] == results["csr"]["bfs_checksum"]
-    assert results["dict"]["stage1_codes_hash"] == results["csr"]["stage1_codes_hash"]
+    assert results["dict"]["stage1_digest"] == results["csr"]["stage1_digest"]
 
     payload = {
         "benchmark": "graph_backend_perf_smoke",
-        "graph": {
-            "model": "barabasi_albert",
-            "num_vertices": NUM_VERTICES,
-            "num_edges": mutable.num_edges,
-            "edges_per_vertex": EDGES_PER_VERTEX,
-            "num_labels": NUM_LABELS,
-            "seed": SEED,
-        },
+        "profile": profile,
+        "graph": graph_meta,
         "freeze_seconds": round(freeze_time, 4),
+        "stage1_params": {
+            "min_support": stage1_params[0],
+            "max_spider_size": stage1_params[1],
+            "max_embeddings_per_pattern": stage1_params[2],
+        },
         "backends": results,
         "speedup": {
             "bfs_sweep": round(
@@ -126,11 +131,111 @@ def main() -> int:
             ),
         },
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    BACKEND_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(
-        f"speedup: BFS {payload['speedup']['bfs_sweep']}x, Stage I {payload['speedup']['stage1']}x"
+        f"backend speedup: BFS {payload['speedup']['bfs_sweep']}x, "
+        f"Stage I {payload['speedup']['stage1']}x — written to {BACKEND_RESULT_PATH.name}"
     )
-    print(f"written to {RESULT_PATH}")
+
+
+def run_parallel_suite(profile, frozen, workers, graph_meta):
+    _, _, _, stage1_params = PROFILES[profile]
+    print(f"parallel suite: serial vs {workers} workers ...", flush=True)
+    serial_seconds, serial_spiders = time_stage1(frozen, stage1_params)
+    serial_digest = spider_digest(serial_spiders)
+    print(
+        f"serial:     {serial_seconds:.2f}s ({len(serial_spiders)} spiders)", flush=True
+    )
+    parallel_seconds, parallel_spiders = time_stage1(
+        frozen, stage1_params, execution=ExecutionPolicy.process_pool(workers)
+    )
+    parallel_digest = spider_digest(parallel_spiders)
+    print(
+        f"{workers} workers:  {parallel_seconds:.2f}s ({len(parallel_spiders)} spiders)",
+        flush=True,
+    )
+
+    # The determinism guarantee, end to end, before any timing is recorded.
+    assert parallel_digest == serial_digest, "parallel mining diverged from serial"
+
+    speedup = round(serial_seconds / parallel_seconds, 2)
+    payload = {
+        "benchmark": "parallel_mining_perf_smoke",
+        "profile": profile,
+        "graph": graph_meta,
+        "stage1_params": {
+            "min_support": stage1_params[0],
+            "max_spider_size": stage1_params[1],
+            "max_embeddings_per_pattern": stage1_params[2],
+        },
+        "workers": workers,
+        "host_cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": speedup,
+        "spiders": len(serial_spiders),
+        "result_digest": serial_digest,
+        "note": (
+            "end-to-end Stage-I mining, serial vs process pool sharing one "
+            "zero-copy CSR snapshot; speedup is bounded by host_cpu_count — "
+            "a single-core host cannot exceed ~1x regardless of workers"
+        ),
+    }
+    PARALLEL_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"parallel speedup: {speedup}x at {workers} workers "
+        f"on {os.cpu_count()} CPU(s) — written to {PARALLEL_RESULT_PATH.name}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-graph smoke profile for CI: must not crash, parity still asserted",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for the parallel suite (default 4)",
+    )
+    parser.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="only run the backend suite (regenerates BENCH_graph_backend.json)",
+    )
+    args = parser.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+    num_vertices, _, _, _ = PROFILES[profile]
+
+    print(
+        f"[{profile}] generating BA graph: |V|={num_vertices}, m={EDGES_PER_VERTEX} ...",
+        flush=True,
+    )
+    build_start = time.perf_counter()
+    mutable = barabasi_albert_graph(num_vertices, EDGES_PER_VERTEX, NUM_LABELS, seed=SEED)
+    build_time = time.perf_counter() - build_start
+    freeze_start = time.perf_counter()
+    frozen = freeze(mutable)
+    freeze_time = time.perf_counter() - freeze_start
+    print(
+        f"built in {build_time:.2f}s (|E|={mutable.num_edges}), frozen in {freeze_time:.2f}s",
+        flush=True,
+    )
+    graph_meta = {
+        "model": "barabasi_albert",
+        "num_vertices": num_vertices,
+        "num_edges": mutable.num_edges,
+        "edges_per_vertex": EDGES_PER_VERTEX,
+        "num_labels": NUM_LABELS,
+        "seed": SEED,
+    }
+
+    run_backend_suite(profile, mutable, frozen, freeze_time, graph_meta)
+    if not args.skip_parallel:
+        run_parallel_suite(profile, frozen, args.workers, graph_meta)
     return 0
 
 

@@ -66,7 +66,7 @@ def test_runtime_table(benchmark, results_dir):
 
     # Every algorithm produced a row for every dataset.
     assert len(table.rows) == 5
-    for dataset, row in table.rows.items():
+    for _dataset, row in table.rows.items():
         assert set(row) == {"SpiderMine", "SUBDUE", "SEuS", "MoSS"}
     # SpiderMine completed everywhere.
     assert all(row["SpiderMine"] != DID_NOT_FINISH for row in table.rows.values())

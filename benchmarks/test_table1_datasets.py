@@ -53,6 +53,8 @@ def test_table1_generate_all_settings(benchmark, results_dir):
     assert GID_SETTINGS[3].small_support > GID_SETTINGS[1].small_support        # GID3 vs 1
     assert ds[4].graph.average_degree() > ds[3].graph.average_degree()          # GID4 vs 3
     assert len(ds[5].small_patterns) > len(ds[2].small_patterns)                # GID5 vs 2
-    record.notes = "; ".join(f"GID{a} vs GID{b}: {text}" for (a, b), text in GID_DIFFERENCES.items())
+    record.notes = "; ".join(
+        f"GID{a} vs GID{b}: {text}" for (a, b), text in GID_DIFFERENCES.items()
+    )
     path = record.save(results_dir)
     print(f"\n[table1] wrote {path}")

@@ -60,7 +60,8 @@ def main() -> None:
     # --- 4. inspect the result -------------------------------------------------
     print()
     print(result.summary())
-    print(f"stage durations: { {k: round(v, 3) for k, v in result.statistics.stage_durations.items()} }")
+    durations = {k: round(v, 3) for k, v in result.statistics.stage_durations.items()}
+    print(f"stage durations: {durations}")
     print(f"spiders mined: {result.statistics.num_spiders}   "
           f"seeds drawn (M): {result.statistics.num_seeds}   "
           f"merges: {result.statistics.num_merges}")

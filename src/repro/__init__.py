@@ -25,6 +25,7 @@ Sub-packages
 ``repro.graph``        labeled-graph substrate (graphs, isomorphism, generators)
 ``repro.patterns``     patterns, embeddings, support measures, spiders
 ``repro.core``         SpiderMine itself
+``repro.parallel``     execution policies + shared-memory process-pool mining
 ``repro.baselines``    SUBDUE, SEuS, MoSS, GREW, ORIGAMI, gSpan reimplementations
 ``repro.transaction``  graph-transaction setting
 ``repro.datasets``     the paper's synthetic datasets + DBLP/Jeti stand-ins
@@ -38,16 +39,18 @@ from .core import (
     SpiderMineConfig,
     mine_top_k_patterns,
 )
+from .parallel import ExecutionPolicy
 from .patterns import Pattern, SupportMeasure
 from .graph import FrozenGraph, GraphView, LabeledGraph, freeze, thaw
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MiningResult",
     "MiningStatistics",
     "SpiderMine",
     "SpiderMineConfig",
+    "ExecutionPolicy",
     "mine_top_k_patterns",
     "Pattern",
     "SupportMeasure",

@@ -9,7 +9,7 @@ renders the same rows the figures plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.results import MiningResult
 

@@ -17,13 +17,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.growth import Occurrence, occurrence_code, occurrences_to_pattern
 from ..core.results import MiningResult, MiningStatistics
-from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.labeled_graph import Vertex
 from ..graph.view import GraphView
-from ..patterns.pattern import Pattern
 
 
 @dataclass
@@ -56,7 +55,6 @@ class Grew:
         for _ in range(config.max_iterations):
             # Group candidate merges by the pattern they would create.
             merge_groups: Dict[str, List[Tuple[Vertex, Vertex, Occurrence]]] = {}
-            roots = list(supernodes)
             root_of: Dict[Vertex, Vertex] = {}
             for root, occ in supernodes.items():
                 for v in occ.vertices:

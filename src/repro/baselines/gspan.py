@@ -19,12 +19,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..core.results import MiningResult, MiningStatistics
 from ..graph.canonical import canonical_code
 from ..graph.labeled_graph import LabeledGraph
-from ..patterns.embedding import Embedding
 from ..patterns.pattern import Pattern
 from ..transaction.database import GraphDatabase
 
@@ -81,7 +80,7 @@ class GSpan:
                 self.completed = False
                 break
             next_frontier: Dict[str, LabeledGraph] = {}
-            for code, pattern_graph in frontier.items():
+            for _code, pattern_graph in frontier.items():
                 if pattern_graph.num_edges >= config.max_edges:
                     continue
                 if self._out_of_budget(start):

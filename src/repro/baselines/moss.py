@@ -26,11 +26,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from ..core.results import MiningResult, MiningStatistics
-from ..graph.canonical import canonical_code
-from ..graph.labeled_graph import LabeledGraph, Vertex
 from ..graph.view import GraphView
 from ..core.growth import Occurrence, occurrence_code, occurrence_support, occurrences_to_pattern
 from ..patterns.pattern import Pattern
@@ -83,7 +81,7 @@ class Moss:
                 self.completed = False
                 break
             next_frontier: Dict[str, List[Occurrence]] = {}
-            for code, occurrences in frontier.items():
+            for _code, occurrences in frontier.items():
                 if self._out_of_budget(start, statistics):
                     self.completed = False
                     break
@@ -93,7 +91,8 @@ class Moss:
                         if new_code in results:
                             continue
                         bucket = next_frontier.setdefault(new_code, [])
-                        if len(bucket) < config.max_occurrences_per_pattern and new_occ not in bucket:
+                        within_cap = len(bucket) < config.max_occurrences_per_pattern
+                        if within_cap and new_occ not in bucket:
                             bucket.append(new_occ)
                         statistics.num_candidates_generated += 1
             # Frequency filter.
@@ -157,7 +156,8 @@ class Moss:
             for other in patterns:
                 if other is pattern or other.num_edges <= pattern.num_edges:
                     continue
-                if len(other.embeddings) == len(pattern.embeddings) and is_sub_pattern(pattern, other):
+                same_count = len(other.embeddings) == len(pattern.embeddings)
+                if same_count and is_sub_pattern(pattern, other):
                     closed = False
                     break
             if closed:

@@ -21,15 +21,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.results import MiningResult, MiningStatistics
-from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.labeled_graph import LabeledGraph
 from ..graph.view import GraphView
-from ..patterns.embedding import Embedding
 from ..patterns.pattern import Pattern
 from ..patterns.support import SupportMeasure, compute_support
-from ..graph.isomorphism import SubgraphMatcher
 from ..graph.canonical import canonical_code
 
 

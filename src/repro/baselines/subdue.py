@@ -25,11 +25,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.results import MiningResult, MiningStatistics
-from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.labeled_graph import Vertex
 from ..graph.view import GraphView
-from ..patterns.embedding import Embedding
 from ..patterns.pattern import Pattern
-from ..patterns.support import SupportMeasure, compute_support, select_disjoint_embeddings
 from ..core.growth import Occurrence, occurrence_code, occurrences_to_pattern
 
 
@@ -102,7 +100,7 @@ class Subdue:
 
         ranked = sorted(best.items(), key=lambda item: item[1][0], reverse=True)
         patterns: List[Pattern] = []
-        for code, (value, occurrences) in ranked[: self.config.num_best]:
+        for _code, (_value, occurrences) in ranked[: self.config.num_best]:
             pattern = occurrences_to_pattern(self.graph, occurrences)
             patterns.append(pattern)
         runtime = time.perf_counter() - start
@@ -136,7 +134,10 @@ class Subdue:
         for occ in occurrences[: self.config.max_instances_per_candidate]:
             for vertex in occ.vertices:
                 for neighbor in self.graph.neighbors(vertex):
-                    edge = (vertex, neighbor) if repr(vertex) <= repr(neighbor) else (neighbor, vertex)
+                    if repr(vertex) <= repr(neighbor):
+                        edge = (vertex, neighbor)
+                    else:
+                        edge = (neighbor, vertex)
                     if edge in occ.edges:
                         continue
                     new_occ = Occurrence(
@@ -145,7 +146,8 @@ class Subdue:
                     )
                     code = occurrence_code(self.graph, new_occ)
                     bucket = grouped.setdefault(code, [])
-                    if len(bucket) < self.config.max_instances_per_candidate and new_occ not in bucket:
+                    within_cap = len(bucket) < self.config.max_instances_per_candidate
+                    if within_cap and new_occ not in bucket:
                         bucket.append(new_occ)
         return grouped
 

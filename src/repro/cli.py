@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -20,7 +21,8 @@ from .analysis import RuntimeTable, SizeDistributionComparison
 from .baselines import run_seus, run_subdue
 from .core import SpiderMine, SpiderMineConfig, mine_spiders
 from .datasets import generate_gid
-from .graph import GRAPH_BACKENDS, GraphView, LabeledGraph, io as graph_io
+from .graph import GRAPH_BACKENDS, GraphView, io as graph_io
+from .parallel import ExecutionPolicy
 
 
 def _load_graph(path: str, backend: str = "csr") -> GraphView:
@@ -44,7 +46,31 @@ def _load_graph(path: str, backend: str = "csr") -> GraphView:
     return graphs[0]
 
 
+def _execution_policy(args: argparse.Namespace) -> ExecutionPolicy:
+    """Validate ``--workers`` up front and turn it into an execution policy.
+
+    Failing here — with an actionable message and a non-zero exit — beats the
+    opaque traceback a bad worker count would otherwise produce deep inside
+    the process pool.
+    """
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        raise SystemExit(
+            f"error: --workers must be at least 1 (got {workers}); "
+            "use --workers 1 for serial mining"
+        )
+    available = os.cpu_count() or 1
+    if workers > available:
+        raise SystemExit(
+            f"error: --workers {workers} exceeds the {available} CPU(s) "
+            "available on this machine; oversubscribing worker processes only "
+            "adds scheduling overhead"
+        )
+    return ExecutionPolicy.process_pool(workers)
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
+    execution = _execution_policy(args)
     graph = _load_graph(args.graph, backend=args.backend)
     config = SpiderMineConfig(
         min_support=args.support,
@@ -53,6 +79,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         radius=args.radius,
         seed=args.seed,
+        execution=execution,
     )
     result = SpiderMine(graph, config).mine()
     print(result.summary())
@@ -79,11 +106,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    execution = _execution_policy(args)
     graph = _load_graph(args.graph, backend=args.backend)
     table = RuntimeTable()
     comparison = SizeDistributionComparison()
 
-    config = SpiderMineConfig(min_support=args.support, k=args.k, d_max=args.dmax, seed=args.seed)
+    config = SpiderMineConfig(
+        min_support=args.support, k=args.k, d_max=args.dmax, seed=args.seed, execution=execution
+    )
     spidermine_result = SpiderMine(graph, config).mine()
     table.record_result("input", spidermine_result)
     comparison.add(spidermine_result)
@@ -103,9 +133,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_spiders(args: argparse.Namespace) -> int:
+    execution = _execution_policy(args)
     graph = _load_graph(args.graph, backend=args.backend)
     spiders = mine_spiders(
-        graph, min_support=args.support, radius=args.radius, max_spider_size=args.max_size
+        graph,
+        min_support=args.support,
+        radius=args.radius,
+        max_spider_size=args.max_size,
+        execution=execution,
     )
     print(f"{len(spiders)} frequent {args.radius}-spiders "
           f"(min_support={args.support}, max_size={args.max_size})")
@@ -132,6 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="data-graph representation: immutable CSR snapshot (csr, default) "
                  "or the mutable dict-of-sets builder (dict); mining results are "
                  "identical, csr is faster on large graphs",
+        )
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for Stage-I spider mining (default 1 = serial); "
+                 "workers share one zero-copy graph snapshot and results are "
+                 "identical for any worker count",
         )
 
     mine = sub.add_parser("mine", help="run SpiderMine on a graph file")

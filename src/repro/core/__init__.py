@@ -20,7 +20,7 @@ from .probability import (
     success_probability,
 )
 from .results import MiningResult, MiningStatistics
-from .spider_miner import SpiderMiner, build_spider_index, mine_spiders
+from .spider_miner import SpiderMiner, build_spider_index, merge_unit_levels, mine_spiders
 from .growth import (
     CandidateEntry,
     GrowthEngine,
@@ -44,6 +44,7 @@ __all__ = [
     "MiningStatistics",
     "SpiderMiner",
     "build_spider_index",
+    "merge_unit_levels",
     "mine_spiders",
     "CandidateEntry",
     "GrowthEngine",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..parallel.policy import ExecutionPolicy
 from ..patterns.support import SupportMeasure
 
 
@@ -96,6 +97,14 @@ class SpiderMineConfig:
     min_vertices_reported: int = 1
     """Patterns smaller than this many vertices are dropped from the result."""
 
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+    """How Stage-I mining executes (serial or a worker-process pool).
+
+    Purely an engineering switch: the parallel driver merges per-unit results
+    in canonical order, so mining output is identical for every policy — see
+    :mod:`repro.parallel`.  Flip with ``ExecutionPolicy.process_pool(n)`` or
+    the CLI ``--workers`` flag."""
+
     def __post_init__(self) -> None:
         if self.min_support < 1:
             raise ValueError("min_support must be at least 1")
@@ -113,6 +122,8 @@ class SpiderMineConfig:
             raise ValueError("max_spider_size must be at least 1")
         if not isinstance(self.support_measure, SupportMeasure):
             self.support_measure = SupportMeasure(self.support_measure)
+        if not isinstance(self.execution, ExecutionPolicy):
+            raise ValueError("execution must be an ExecutionPolicy instance")
 
     @property
     def growth_iterations(self) -> int:

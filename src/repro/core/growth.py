@@ -25,7 +25,7 @@ vertex/edge sets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..graph.algorithms import (
@@ -65,7 +65,9 @@ class Occurrence:
         return cls(vertices=vertices, edges=edges)
 
     @classmethod
-    def from_vertices_edges(cls, vertices: Iterable[Vertex], edges: Iterable[EdgeTuple]) -> "Occurrence":
+    def from_vertices_edges(
+        cls, vertices: Iterable[Vertex], edges: Iterable[EdgeTuple]
+    ) -> "Occurrence":
         return cls(
             vertices=frozenset(vertices),
             edges=frozenset(_normalise_edge(u, v) for u, v in edges),
@@ -245,7 +247,11 @@ class GrowthEngine:
                 entries[code] = CandidateEntry(
                     code=code,
                     occurrences=self._dedupe(occurrences),
-                    frontier=set().union(*(o.vertices for o in occurrences)) if occurrences else set(),
+                    frontier=(
+                        set().union(*(o.vertices for o in occurrences))
+                        if occurrences
+                        else set()
+                    ),
                 )
             else:
                 entry.occurrences = self._dedupe(entry.occurrences + occurrences)
@@ -291,7 +297,11 @@ class GrowthEngine:
                 new_groups.setdefault(code, []).extend(entry.occurrences)
                 meta = new_meta.setdefault(
                     code,
-                    {"merged": entry.merged, "frontier": set(entry.frontier or set()), "parents": {code}},
+                    {
+                        "merged": entry.merged,
+                        "frontier": set(entry.frontier or set()),
+                        "parents": {code},
+                    },
                 )
                 meta["merged"] = bool(meta["merged"]) or entry.merged
 
@@ -300,8 +310,9 @@ class GrowthEngine:
         # A pattern whose every extension fell below the support threshold must
         # not vanish: carry it forward unchanged (it is a local maximum).
         surviving_parents: Set[str] = set()
-        for code, entry in next_entries.items():
-            surviving_parents |= set(new_meta.get(code, {}).get("parents", set()))  # type: ignore[arg-type]
+        for code, _entry in next_entries.items():
+            parents = new_meta.get(code, {}).get("parents", set())
+            surviving_parents |= set(parents)  # type: ignore[arg-type]
         for code, entry in entries.items():
             if code not in surviving_parents and code not in next_entries:
                 next_entries[code] = entry
@@ -372,7 +383,6 @@ class GrowthEngine:
         ``entries`` with ``merged=True``; the inputs are also flagged so the
         Stage-II pruning keeps them.
         """
-        config = self.config
         # Inverted index over the vertices of current occurrences: each data
         # vertex maps to the (entry code, occurrence) pairs that cover it.
         # Merge candidates are discovered per shared vertex, so only occurrence
@@ -502,7 +512,10 @@ class GrowthEngine:
                 if not codes:
                     candidate_codes = set()
                     break
-                candidate_codes = set(codes) if candidate_codes is None else (candidate_codes & codes)
+                if candidate_codes is None:
+                    candidate_codes = set(codes)
+                else:
+                    candidate_codes &= codes
                 if not candidate_codes:
                     break
             subsumed_by: Optional[CandidateEntry] = None

@@ -15,7 +15,6 @@ Vmin = |V(G)|/10) gives M = 85, which the unit tests pin down.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -91,7 +90,6 @@ def compute_seed_count(
         upper *= 2
         if upper > 10_000_000:
             break
-    lower = max(2, upper // 2)
     # The bound is not perfectly monotone for tiny M, so anchor the lower end at 2.
     lo, hi = 2, upper
     while lo < hi:

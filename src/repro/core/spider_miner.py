@@ -12,13 +12,26 @@ embeddings", as the paper requires.
 
 Candidates are deduplicated with head-distinguished canonical codes; support
 is computed with the configured single-graph measure.
+
+Mining units
+------------
+Spider codes distinguish the head's label, so the search trees rooted at
+different frequent labels never interact: no code collision, no shared
+frontier, no shared support counting.  The miner exploits that by splitting
+the search into **units** — one per frequent label, in canonical (repr-sorted)
+label order — each mined independently by :meth:`SpiderMiner.mine_unit` into
+per-level spider buckets.  :func:`merge_unit_levels` then interleaves the
+buckets level-major / unit-minor, which reproduces the insertion order of the
+classic single-loop search exactly (including ``max_spiders`` truncation).
+Units are the fan-out boundary of the parallel engine
+(:mod:`repro.parallel.driver`): because the merge is canonical, serial and
+process-pool runs are bit-identical for a fixed seed.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from ..graph.labeled_graph import LabeledGraph, Vertex
 from ..graph.view import GraphView
@@ -26,6 +39,9 @@ from ..patterns.embedding import Embedding
 from ..patterns.spider import Spider, head_distinguished_code
 from ..patterns.support import SupportMeasure, compute_support
 from .config import SpiderMineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel.policy import ExecutionPolicy
 
 _HEAD = 0  # the head is always pattern vertex 0
 
@@ -50,23 +66,104 @@ class SpiderMiner:
     def __init__(self, graph: GraphView, config: Optional[SpiderMineConfig] = None) -> None:
         self.graph = graph
         self.config = config or SpiderMineConfig()
+        self._unit_labels: Optional[List[Hashable]] = None
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def mine(self) -> List[Spider]:
-        """All frequent r-spiders, each with its (possibly capped) embedding list."""
-        config = self.config
-        frontier = self._initial_candidates()
-        results: Dict[str, Spider] = {}
-        for candidate in frontier:
-            if len(results) >= config.max_spiders:
-                break
-            spider = self._to_spider(candidate)
-            if spider is not None:
-                results[spider.spider_code()] = spider
+        """All frequent r-spiders, each with its (possibly capped) embedding list.
 
-        while frontier and len(results) < config.max_spiders:
+        Execution follows ``config.execution``: the serial policy mines every
+        unit in-process; a process policy fans units out over a worker pool
+        sharing one zero-copy graph snapshot.  Both paths feed
+        :func:`merge_unit_levels`, so the returned list is identical.
+        """
+        if self.config.execution.uses_processes and self.unit_labels():
+            from ..parallel.driver import mine_units_in_processes
+
+            unit_levels = mine_units_in_processes(
+                self.graph, self.config, num_units=len(self.unit_labels())
+            )
+        else:
+            unit_levels = self._mine_units_serial()
+        return merge_unit_levels(unit_levels, self.config.max_spiders)
+
+    def _mine_units_serial(self) -> Dict[int, List[List[Spider]]]:
+        """All units in-process, level-synchronized across units.
+
+        Units advance one level at a time, round-robin, and expansion stops as
+        soon as the mined total reaches ``max_spiders``: everything past that
+        point sits after the truncation cut of :func:`merge_unit_levels`
+        (levels only deepen), so the serial path never does meaningfully more
+        work than the classic single-frontier search did when the cap binds.
+        """
+        cap = self.config.max_spiders
+        searches = {
+            unit: self.iter_unit_levels(unit) for unit in range(len(self.unit_labels()))
+        }
+        unit_levels: Dict[int, List[List[Spider]]] = {unit: [] for unit in searches}
+        active = sorted(searches)
+        total = 0
+        while active and total < cap:
+            still_active = []
+            for unit in active:
+                bucket = next(searches[unit], None)
+                if bucket is None:
+                    continue
+                unit_levels[unit].append(bucket)
+                total += len(bucket)
+                still_active.append(unit)
+            active = still_active
+        return unit_levels
+
+    def unit_labels(self) -> List[Hashable]:
+        """The mining units: frequent labels in canonical (repr-sorted) order.
+
+        Frequency here is the raw member count — the same pre-filter the
+        level-0 candidates always used — so the unit list is a pure function
+        of (graph, min_support) and agrees across processes and backends.
+        """
+        if self._unit_labels is None:
+            counts = self.graph.label_counts()
+            self._unit_labels = [
+                label
+                for label in sorted(counts, key=repr)
+                if counts[label] >= self.config.min_support
+            ]
+        return self._unit_labels
+
+    def mine_unit(self, unit: int) -> List[List[Spider]]:
+        """Mine one unit exhaustively: per-level lists of frequent spiders.
+
+        Pure with respect to the unit index: touches only the (read-only)
+        data graph and the config, so units can run in any order, in any
+        process.  ``levels[d]`` holds the frequent spiders first reached by
+        ``d`` extension steps, in the deterministic discovery order of the
+        level-wise search restricted to this unit's root label.
+        """
+        return list(self.iter_unit_levels(unit))
+
+    def iter_unit_levels(self, unit: int):
+        """Lazily yield one unit's per-level spider buckets (see :meth:`mine_unit`).
+
+        The serial path consumes units through this generator so it can stop
+        all searches as soon as the global ``max_spiders`` cap is covered;
+        workers simply drain it.
+        """
+        config = self.config
+        root = self._initial_candidate(self.unit_labels()[unit])
+        mined: Set[str] = set()
+        level0: List[Spider] = []
+        spider = self._to_spider(root)
+        if spider is not None:
+            mined.add(spider.spider_code())
+            level0.append(spider)
+        yield level0
+        # The root stays on the frontier even when its own support measure
+        # falls short — level 0 has always seeded extensions unconditionally.
+        frontier = [root]
+        while frontier and len(mined) < config.max_spiders:
             next_by_code: Dict[str, _Candidate] = {}
             for candidate in frontier:
                 at_size_cap = candidate.graph.num_vertices >= config.max_spider_size
@@ -79,7 +176,7 @@ class SpiderMiner:
                 )
                 for extended in extensions:
                     code = head_distinguished_code(extended.graph, _HEAD)
-                    if code in results:
+                    if code in mined:
                         continue
                     existing = next_by_code.get(code)
                     if existing is None:
@@ -87,33 +184,28 @@ class SpiderMiner:
                     else:
                         self._merge_embeddings(existing, extended)
             frontier = []
+            bucket: List[Spider] = []
             for code, candidate in next_by_code.items():
                 spider = self._to_spider(candidate)
                 if spider is None:
                     continue
-                results[code] = spider
+                mined.add(code)
+                bucket.append(spider)
                 frontier.append(candidate)
-                if len(results) >= config.max_spiders:
+                if len(mined) >= config.max_spiders:
                     break
-        return list(results.values())
+            yield bucket
 
     # ------------------------------------------------------------------ #
     # level 0
     # ------------------------------------------------------------------ #
-    def _initial_candidates(self) -> List[_Candidate]:
-        config = self.config
-        candidates: List[_Candidate] = []
-        for label in sorted(self.graph.label_set(), key=repr):
-            vertices = sorted(self.graph.vertices_with_label(label), key=repr)
-            if len(vertices) < config.min_support:
-                continue
-            pattern = LabeledGraph()
-            pattern.add_vertex(_HEAD, label)
-            embeddings = [{_HEAD: v} for v in vertices]
-            candidates.append(
-                _Candidate(graph=pattern, depth={_HEAD: 0}, embeddings=self._cap(embeddings))
-            )
-        return candidates
+    def _initial_candidate(self, label: Hashable) -> _Candidate:
+        """The single-vertex root candidate of one unit."""
+        vertices = sorted(self.graph.vertices_with_label(label), key=repr)
+        pattern = LabeledGraph()
+        pattern.add_vertex(_HEAD, label)
+        embeddings = [{_HEAD: v} for v in vertices]
+        return _Candidate(graph=pattern, depth={_HEAD: 0}, embeddings=self._cap(embeddings))
 
     # ------------------------------------------------------------------ #
     # extension generation
@@ -249,6 +341,34 @@ class SpiderMiner:
         return spider
 
 
+def merge_unit_levels(
+    unit_levels: Dict[int, List[List[Spider]]], max_spiders: int
+) -> List[Spider]:
+    """Deterministic merge of per-unit spider buckets into the result list.
+
+    Interleaves level-major / unit-minor — all level-``d`` spiders, units in
+    canonical order, before any level-``d+1`` spider — and truncates at
+    ``max_spiders``.  This is exactly the insertion order of the classic
+    single-frontier search, so the merged list is independent of *where* and
+    in *what order* the units were mined: the determinism guarantee of the
+    parallel engine.
+    """
+    merged: List[Spider] = []
+    if max_spiders <= 0:
+        return merged
+    depth = max((len(levels) for levels in unit_levels.values()), default=0)
+    for level in range(depth):
+        for unit in sorted(unit_levels):
+            levels = unit_levels[unit]
+            if level >= len(levels):
+                continue
+            for spider in levels[level]:
+                merged.append(spider)
+                if len(merged) >= max_spiders:
+                    return merged
+    return merged
+
+
 def mine_spiders(
     graph: GraphView,
     min_support: int,
@@ -257,6 +377,7 @@ def mine_spiders(
     support_measure: SupportMeasure = SupportMeasure.HARMFUL_OVERLAP,
     max_spiders: int = 20000,
     max_embeddings_per_pattern: int = 400,
+    execution: Optional["ExecutionPolicy"] = None,
 ) -> List[Spider]:
     """Convenience wrapper around :class:`SpiderMiner` (the paper's ``InitSpider``)."""
     config = SpiderMineConfig(
@@ -267,6 +388,8 @@ def mine_spiders(
         max_spiders=max_spiders,
         max_embeddings_per_pattern=max_embeddings_per_pattern,
     )
+    if execution is not None:
+        config.execution = execution
     return SpiderMiner(graph, config).mine()
 
 

@@ -21,10 +21,9 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..graph.algorithms import diameter as graph_diameter
-from ..graph.labeled_graph import LabeledGraph
 from ..graph.view import GraphView
 from ..patterns.pattern import Pattern
 from ..patterns.spider import Spider
@@ -120,6 +119,8 @@ class SpiderMine:
                 "radius": config.radius,
                 "support_measure": config.support_measure.value,
                 "num_seeds": statistics.num_seeds,
+                "execution_mode": config.execution.mode,
+                "workers": config.execution.n_workers,
             },
         )
 

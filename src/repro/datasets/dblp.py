@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-from ..graph.generators import InjectedPattern, inject_pattern, random_connected_pattern
+from ..graph.generators import InjectedPattern, inject_pattern
 from ..graph.labeled_graph import LabeledGraph
 
 #: The paper's seniority labels.

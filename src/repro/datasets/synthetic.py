@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..graph.generators import SyntheticSingleGraph, synthetic_single_graph
-from ..graph.labeled_graph import LabeledGraph
 from ..transaction.database import GraphDatabase
 from ..graph.generators import (
     erdos_renyi_graph,
@@ -76,7 +75,8 @@ class DataSetting:
                 large_vertices -= 1
             while large_support > 2 and num_large * large_vertices * large_support > budget:
                 large_support -= 1
-            while small_support > 2 and num_small * small_vertices * small_support > num_vertices // 4:
+            small_budget = num_vertices // 4
+            while small_support > 2 and num_small * small_vertices * small_support > small_budget:
                 small_support -= 1
         return synthetic_single_graph(
             num_vertices=num_vertices,

@@ -16,10 +16,10 @@ from __future__ import annotations
 import heapq
 import random
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from .frozen import FrozenGraph
-from .labeled_graph import GraphError, LabeledGraph, Vertex
+from .labeled_graph import GraphError, Vertex
 from .view import GraphView
 
 
@@ -304,7 +304,9 @@ def degree_histogram(graph: GraphView) -> Dict[int, int]:
     return hist
 
 
-def spanning_tree_edges(graph: GraphView, root: Optional[Vertex] = None) -> List[Tuple[Vertex, Vertex]]:
+def spanning_tree_edges(
+    graph: GraphView, root: Optional[Vertex] = None
+) -> List[Tuple[Vertex, Vertex]]:
     """Edges of a BFS spanning forest (a tree when the graph is connected)."""
     edges: List[Tuple[Vertex, Vertex]] = []
     seen: Set[Vertex] = set()

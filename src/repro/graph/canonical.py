@@ -23,7 +23,7 @@ graph on vertices ``0..n-1`` in canonical order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from .labeled_graph import LabeledGraph, Vertex
 
@@ -63,7 +63,6 @@ def _color_classes(colors: Dict[Vertex, int]) -> List[List[Vertex]]:
 
 def _code_for_order(graph: LabeledGraph, order: Sequence[Vertex]) -> str:
     """Serialise the graph under a total vertex order into a code string."""
-    position = {v: i for i, v in enumerate(order)}
     label_part = ",".join(repr(graph.label(v)) for v in order)
     edge_bits: List[str] = []
     n = len(order)

@@ -152,6 +152,56 @@ class FrozenGraph:
     def remove_vertex(self, vertex: Vertex) -> None:
         raise self._frozen_error("remove_vertex")
 
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        ids: Tuple[Vertex, ...],
+        label_table: Tuple[Label, ...],
+        label_ids,
+        offsets,
+        neighbors,
+    ) -> "FrozenGraph":
+        """Rebuild a snapshot from its constituent arrays without re-deriving CSR.
+
+        The array arguments may be ``array.array`` instances or any typed
+        buffer with the same read surface (``memoryview.cast`` views over a
+        ``multiprocessing.shared_memory`` segment, which is how worker
+        processes re-attach a shared data graph without pickling it — see
+        :mod:`repro.parallel.shared_graph`).  Only the derived index
+        structures (vertex index, label lookup, label membership rows) are
+        rebuilt; the heavy CSR payload is used as-is, so a shared-memory
+        attach is O(|V|) and copies none of the adjacency.
+        """
+        self = cls.__new__(cls)
+        n = len(ids)
+        if len(offsets) != n + 1:
+            raise GraphError(
+                f"offsets length {len(offsets)} does not match {n} vertices"
+            )
+        index: Dict[Vertex, int] = {v: i for i, v in enumerate(ids)}
+        if len(index) != n:
+            raise GraphError("duplicate vertex identifiers in source arrays")
+        typecode = _index_typecode(n)
+        label_members: Dict[int, array] = {lid: array(typecode) for lid in range(len(label_table))}
+        for i in range(n):
+            label_members[label_ids[i]].append(i)
+        self._ids = tuple(ids)
+        self._index = index
+        self._label_table = tuple(label_table)
+        self._label_lookup = {label: lid for lid, label in enumerate(self._label_table)}
+        self._label_ids = label_ids
+        self._offsets = offsets
+        self._neighbors = neighbors
+        self._num_edges = len(neighbors) // 2
+        self._label_members = label_members
+        self._label_counts = Counter(
+            {self._label_table[lid]: len(members) for lid, members in label_members.items()}
+        )
+        self._label_sets = {}
+        self._neighbor_sets = {}
+        self._label_map = None
+        return self
+
     # ------------------------------------------------------------------ #
     # index-space accessors (the fast path)
     # ------------------------------------------------------------------ #
@@ -159,6 +209,16 @@ class FrozenGraph:
     def vertex_ids(self) -> Tuple[Vertex, ...]:
         """Original vertex identifiers, position = dense index."""
         return self._ids
+
+    @property
+    def label_table(self) -> Tuple[Label, ...]:
+        """Interned label values, position = label id."""
+        return self._label_table
+
+    @property
+    def label_ids(self):
+        """Per-vertex interned label ids, position = dense vertex index."""
+        return self._label_ids
 
     @property
     def offsets(self) -> array:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from .frozen import FrozenGraph, freeze
 from .labeled_graph import GraphError, LabeledGraph, Vertex

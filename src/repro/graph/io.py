@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 from .frozen import FrozenGraph, freeze
 from .labeled_graph import GraphError, LabeledGraph

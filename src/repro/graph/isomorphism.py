@@ -151,7 +151,9 @@ class SubgraphMatcher:
                 )
         return order
 
-    def _candidates(self, p_vertex: Vertex, mapping: Mapping, used: Set[Vertex]) -> Iterator[Vertex]:
+    def _candidates(
+        self, p_vertex: Vertex, mapping: Mapping, used: Set[Vertex]
+    ) -> Iterator[Vertex]:
         pattern, target = self.pattern, self.target
         label = pattern.label(p_vertex)
         mapped_neighbors = [u for u in pattern.neighbors(p_vertex) if u in mapping]
@@ -245,7 +247,9 @@ def embedding_image(mapping: Mapping) -> FrozenSet[Vertex]:
     return frozenset(mapping.values())
 
 
-def embedding_edge_image(pattern: LabeledGraph, mapping: Mapping) -> FrozenSet[Tuple[Vertex, Vertex]]:
+def embedding_edge_image(
+    pattern: LabeledGraph, mapping: Mapping
+) -> FrozenSet[Tuple[Vertex, Vertex]]:
     """The set of data-graph edges an embedding covers (normalised by repr order)."""
     edges = set()
     for u, v in pattern.edges():

@@ -1,0 +1,196 @@
+"""Zero-copy sharing of :class:`~repro.graph.frozen.FrozenGraph` snapshots.
+
+The mining-time data graph is immutable, so worker processes never need their
+own copy of its adjacency.  :func:`export_shared_graph` packs the three heavy
+CSR payload arrays — row offsets, flat neighbor indices, per-vertex label ids
+— plus one small pickled header (original vertex identifiers and the interned
+label table) into a single ``multiprocessing.shared_memory`` segment.
+Workers call :func:`attach_shared_graph` with the :class:`SharedGraphHandle`
+(a few ints and a name — the only thing that crosses the pickle boundary) and
+rebuild a fully functional ``FrozenGraph`` whose arrays are
+``memoryview.cast`` views *into the segment*: the adjacency is mapped, not
+copied, so attaching is O(|V|) and per-worker memory stays flat no matter how
+large the graph is.
+
+Lifecycle contract (enforced by :mod:`repro.parallel.driver`):
+
+* the **creator** (driver parent) owns the segment: it exports before the
+  pool starts and ``close()`` + ``unlink()`` in a ``finally`` block, so the
+  segment is released even when a worker dies mid-chunk;
+* **attachers** (workers) hold the mapping for the life of the process and
+  :meth:`AttachedGraph.detach` at exit; they unregister from the resource
+  tracker at attach time so worker exits never double-unlink the segment.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
+from typing import Tuple
+
+from ..graph.frozen import FrozenGraph
+
+__all__ = ["SharedGraphHandle", "AttachedGraph", "export_shared_graph", "attach_shared_graph"]
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Everything a worker needs to re-attach a shared graph (small, picklable)."""
+
+    name: str
+    num_vertices: int
+    offsets_typecode: str
+    index_typecode: str
+    labels_typecode: str
+    offsets_bytes: int
+    neighbors_bytes: int
+    labels_bytes: int
+    header_bytes: int
+
+    @property
+    def offsets_start(self) -> int:
+        return 0
+
+    @property
+    def neighbors_start(self) -> int:
+        return self.offsets_bytes
+
+    @property
+    def labels_start(self) -> int:
+        return self.offsets_bytes + self.neighbors_bytes
+
+    @property
+    def header_start(self) -> int:
+        return self.offsets_bytes + self.neighbors_bytes + self.labels_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.header_start + self.header_bytes
+
+
+def _typecode(arr) -> str:
+    """Element typecode of an ``array.array`` or typed ``memoryview``.
+
+    Lets a graph that was itself attached from shared memory (whose arrays
+    are memoryviews, which expose ``format`` instead of ``typecode``) be
+    re-exported unchanged.
+    """
+    return getattr(arr, "typecode", None) or arr.format
+
+
+def export_shared_graph(
+    frozen: FrozenGraph,
+) -> Tuple[SharedGraphHandle, shared_memory.SharedMemory]:
+    """Copy ``frozen``'s CSR payload into a fresh shared-memory segment.
+
+    Returns the handle to send to workers and the segment itself; the caller
+    owns the segment and must ``close()`` and ``unlink()`` it when the run
+    ends (success or failure).
+    """
+    offsets = frozen.offsets
+    neighbors = frozen.neighbor_indices
+    label_ids = frozen.label_ids
+    header = pickle.dumps(
+        (frozen.vertex_ids, frozen.label_table), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    handle = SharedGraphHandle(
+        name="",  # filled below once the segment exists
+        num_vertices=frozen.num_vertices,
+        offsets_typecode=_typecode(offsets),
+        index_typecode=_typecode(neighbors),
+        labels_typecode=_typecode(label_ids),
+        offsets_bytes=len(offsets) * offsets.itemsize,
+        neighbors_bytes=len(neighbors) * neighbors.itemsize,
+        labels_bytes=len(label_ids) * label_ids.itemsize,
+        header_bytes=len(header),
+    )
+    # SharedMemory refuses zero-byte segments; an empty graph still carries
+    # its pickled header, so total_bytes is always positive here.
+    segment = shared_memory.SharedMemory(create=True, size=handle.total_bytes)
+    handle = replace(handle, name=segment.name)
+    buf = segment.buf
+    # Byte-cast views over the arrays write straight into the segment — no
+    # intermediate bytes objects doubling peak memory at export time.
+    buf[handle.offsets_start:handle.offsets_start + handle.offsets_bytes] = (
+        memoryview(offsets).cast("B")
+    )
+    buf[handle.neighbors_start:handle.neighbors_start + handle.neighbors_bytes] = (
+        memoryview(neighbors).cast("B")
+    )
+    buf[handle.labels_start:handle.labels_start + handle.labels_bytes] = (
+        memoryview(label_ids).cast("B")
+    )
+    buf[handle.header_start:handle.header_start + handle.header_bytes] = header
+    return handle, segment
+
+
+class AttachedGraph:
+    """A worker-side view of a shared graph plus its mapping lifecycle."""
+
+    def __init__(
+        self,
+        graph: FrozenGraph,
+        segment: shared_memory.SharedMemory,
+        views: Tuple[memoryview, ...],
+    ) -> None:
+        self.graph = graph
+        self._segment = segment
+        self._views = views
+        self._detached = False
+
+    def detach(self) -> None:
+        """Release the buffer views and close the mapping (not unlink).
+
+        After this the attached :class:`FrozenGraph` must not be used — its
+        arrays point into the released mapping.  Safe to call twice.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        for view in self._views:
+            view.release()
+        self._segment.close()
+
+
+def attach_shared_graph(handle: SharedGraphHandle) -> AttachedGraph:
+    """Map an exported graph into this process without copying the CSR arrays."""
+    segment = _attach_untracked(handle.name)
+    buf = segment.buf
+    offsets = buf[handle.offsets_start:handle.offsets_start + handle.offsets_bytes].cast(
+        handle.offsets_typecode
+    )
+    neighbors = buf[
+        handle.neighbors_start:handle.neighbors_start + handle.neighbors_bytes
+    ].cast(handle.index_typecode)
+    label_ids = buf[handle.labels_start:handle.labels_start + handle.labels_bytes].cast(
+        handle.labels_typecode
+    )
+    header = bytes(buf[handle.header_start:handle.header_start + handle.header_bytes])
+    ids, label_table = pickle.loads(header)
+    graph = FrozenGraph.from_csr_arrays(ids, label_table, label_ids, offsets, neighbors)
+    return AttachedGraph(graph, segment, (offsets, neighbors, label_ids))
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it with the tracker.
+
+    Workers share the creator's ``multiprocessing.resource_tracker`` process,
+    whose cache is a plain per-type name set: letting an attach register (or
+    later unregister) the segment corrupts the creator's single entry and
+    either double-unlinks or KeyErrors at cleanup.  Python 3.13 exposes
+    ``track=False`` for exactly this; on older versions the registration
+    call is suppressed for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register

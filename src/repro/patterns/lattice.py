@@ -8,7 +8,7 @@ operate on :class:`repro.patterns.pattern.Pattern` collections.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from ..graph.isomorphism import SubgraphMatcher
 from .pattern import Pattern

@@ -9,7 +9,7 @@ is the dictionary key every miner uses to deduplicate candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from ..graph.algorithms import diameter as graph_diameter
 from ..graph.canonical import canonical_code
@@ -46,7 +46,8 @@ class Pattern:
         embeddings = []
         if data_graph is not None:
             embeddings = [
-                Embedding.from_dict({0: v}) for v in sorted(data_graph.vertices_with_label(label), key=repr)
+                Embedding.from_dict({0: v})
+                for v in sorted(data_graph.vertices_with_label(label), key=repr)
             ]
         return cls(graph=g, embeddings=embeddings)
 
@@ -157,11 +158,14 @@ def sort_patterns_by_size(patterns: Sequence[Pattern], by: str = "vertices") -> 
     ``"edges"`` (the paper's formal |P|), or ``"both"`` (vertices then edges).
     """
     if by == "vertices":
-        key = lambda p: (p.num_vertices, p.num_edges)
+        def key(p):
+            return (p.num_vertices, p.num_edges)
     elif by == "edges":
-        key = lambda p: (p.num_edges, p.num_vertices)
+        def key(p):
+            return (p.num_edges, p.num_vertices)
     elif by == "both":
-        key = lambda p: (p.num_vertices + p.num_edges, p.num_vertices)
+        def key(p):
+            return (p.num_vertices + p.num_edges, p.num_vertices)
     else:
         raise ValueError(f"unknown sort key {by!r}")
     return sorted(patterns, key=key, reverse=True)

@@ -22,8 +22,8 @@ by tagging the head's label before canonicalisation.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Counter as CounterType, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Counter as CounterType, Dict, List, Tuple
 
 from ..graph.algorithms import bfs_distances, is_r_bounded_from
 from ..graph.canonical import canonical_code

@@ -25,7 +25,7 @@ hence still safe for pruning) above ``exact_limit`` embeddings.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set
 
 from ..graph.algorithms import exact_maximum_independent_set, greedy_maximum_independent_set
 from ..graph.labeled_graph import LabeledGraph, Vertex

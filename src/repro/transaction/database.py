@@ -9,13 +9,11 @@ containing at least one embedding of it.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List
 
 from ..graph.isomorphism import SubgraphMatcher
 from ..graph.labeled_graph import LabeledGraph
-from ..patterns.pattern import Pattern
 
 
 @dataclass

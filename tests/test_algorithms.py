@@ -24,7 +24,6 @@ from repro.graph import (
     spanning_tree_edges,
     triangles,
 )
-from tests.conftest import build_path, build_star, build_triangle
 
 
 class TestDistances:

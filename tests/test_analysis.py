@@ -18,7 +18,7 @@ from repro.analysis import (
 )
 from repro.core import MiningResult
 from repro.patterns import Pattern
-from tests.conftest import build_path, build_star, build_triangle
+from tests.conftest import build_path
 
 
 def result_with_sizes(name: str, vertex_sizes) -> MiningResult:

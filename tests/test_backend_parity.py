@@ -15,9 +15,8 @@ import pytest
 
 from repro.baselines import run_grew, run_moss, run_seus, run_subdue
 from repro.core import SpiderMine, SpiderMineConfig, mine_spiders
-from repro.core.growth import occurrence_support
 from repro.graph import LabeledGraph, freeze, io as graph_io, synthetic_single_graph
-from repro.patterns.support import SupportMeasure, compute_support
+from repro.patterns.support import compute_support
 
 
 @pytest.fixture(scope="module")

@@ -5,9 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import Origami, OrigamiConfig, run_gspan, run_origami
-from repro.graph import LabeledGraph, subgraph_exists
+from repro.graph import LabeledGraph
 from repro.transaction import GraphDatabase
-from tests.conftest import build_path, build_star, build_triangle
+from tests.conftest import build_path, build_triangle
 
 
 def small_database() -> GraphDatabase:
@@ -80,8 +80,10 @@ class TestOrigami:
 
     def test_alpha_controls_orthogonality(self):
         database = small_database()
-        strict = Origami(database, OrigamiConfig(min_support=2, num_walks=12, alpha=0.0, seed=4)).mine()
-        loose = Origami(database, OrigamiConfig(min_support=2, num_walks=12, alpha=1.0, seed=4)).mine()
+        strict_config = OrigamiConfig(min_support=2, num_walks=12, alpha=0.0, seed=4)
+        strict = Origami(database, strict_config).mine()
+        loose_config = OrigamiConfig(min_support=2, num_walks=12, alpha=1.0, seed=4)
+        loose = Origami(database, loose_config).mine()
         assert len(strict.patterns) <= len(loose.patterns)
 
     def test_empty_database(self):

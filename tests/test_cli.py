@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
 from repro.graph import LabeledGraph, io as graph_io
-from tests.conftest import build_triangle
 
 
 @pytest.fixture
@@ -90,6 +90,58 @@ class TestBackendOption:
             outputs[backend] = [l for l in printed.splitlines() if l.startswith("  #")]
         assert outputs["dict"] == outputs["csr"]
         assert outputs["csr"]
+
+
+class TestWorkersOption:
+    def test_workers_defaults_to_serial(self):
+        args = build_parser().parse_args(["mine", "g.lg"])
+        assert args.workers == 1
+        args = build_parser().parse_args(["spiders", "g.lg", "--workers", "1"])
+        assert args.workers == 1
+
+    @pytest.mark.parametrize("command", ["mine", "spiders", "compare"])
+    def test_zero_workers_exits_with_message(self, command, tiny_graph_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, str(tiny_graph_file), "--workers", "0"])
+        assert excinfo.value.code not in (0, None)
+        assert "--workers must be at least 1" in str(excinfo.value)
+
+    def test_negative_workers_exits_with_message(self, tiny_graph_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(tiny_graph_file), "--workers", "-3"])
+        assert "--workers must be at least 1" in str(excinfo.value)
+
+    def test_oversubscribed_workers_exits_with_message(self, tiny_graph_file):
+        too_many = (os.cpu_count() or 1) + 1
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(tiny_graph_file), "--workers", str(too_many)])
+        assert excinfo.value.code not in (0, None)
+        assert "exceeds" in str(excinfo.value)
+
+    def test_workers_validated_before_graph_is_loaded(self):
+        """A bad worker count fails fast even when the input is also missing."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", "does-not-exist.lg", "--workers", "0"])
+        assert "--workers" in str(excinfo.value)
+
+    def test_single_worker_mines_serially(self, tiny_graph_file, capsys):
+        code = main(["mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                     "--dmax", "2", "--workers", "1"])
+        assert code == 0
+        assert "SpiderMine" in capsys.readouterr().out
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 2, reason="needs >= 2 CPUs")
+    def test_parallel_cli_output_matches_serial(self, tiny_graph_file, capsys):
+        outputs = {}
+        for workers in ("1", "2"):
+            code = main([
+                "mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                "--dmax", "2", "--workers", workers,
+            ])
+            assert code == 0
+            printed = capsys.readouterr().out
+            outputs[workers] = [l for l in printed.splitlines() if l.startswith("  #")]
+        assert outputs["1"] == outputs["2"]
 
 
 class TestGenerateCommand:

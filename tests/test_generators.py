@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.graph import (
-    LabeledGraph,
     assign_random_labels,
     barabasi_albert_graph,
     erdos_renyi_graph,

@@ -17,7 +17,6 @@ from repro.core import (
 )
 from repro.graph import LabeledGraph
 from repro.patterns import SupportMeasure
-from tests.conftest import build_path
 
 
 def ladder_graph() -> LabeledGraph:

@@ -15,7 +15,6 @@ from repro.graph.io import (
     write_json,
     write_lg,
 )
-from tests.conftest import build_star, build_triangle
 
 
 class TestLgFormat:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import SpiderMineConfig, SpiderMiner, build_spider_index, mine_spiders
 from repro.graph import LabeledGraph, is_r_bounded_from

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import SpiderMine, SpiderMineConfig, mine_top_k_patterns
 from repro.analysis import recovery_rate

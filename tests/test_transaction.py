@@ -2,16 +2,14 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.graph import LabeledGraph
 from repro.transaction import (
     GraphDatabase,
     database_from_graphs,
     mine_transaction_top_k,
     union_as_single_graph,
 )
-from tests.conftest import build_path, build_star, build_triangle
+from tests.conftest import build_path, build_star
 
 
 def motif_database(num_graphs: int = 5) -> GraphDatabase:
