@@ -1,24 +1,28 @@
 #!/usr/bin/env python3
-"""Perf smoke test: graph backends and the parallel mining engine.
+"""Perf smoke test: graph backends, the parallel engine and the catalog.
 
-Two measurement suites over the same Barabási–Albert power-law data graph:
+Three measurement suites:
 
 * **backend** — dict vs csr on (a) a BFS-distance sweep from a fixed sample
-  of sources and (b) a light Stage-I spider-mining pass; written to
-  ``BENCH_graph_backend.json``.
+  of sources and (b) a light Stage-I spider-mining pass over one
+  Barabási–Albert power-law graph; written to ``BENCH_graph_backend.json``.
 * **parallel** — serial vs ``--workers N`` process-pool execution of a heavy
   Stage-I pass (the embarrassingly parallel stage the engine fans out);
   written to ``BENCH_parallel_mining.json`` together with the host CPU count,
   because the achievable speedup is bounded by physical cores.
+* **catalog** — cold full SpiderMine run (mine + store into a fresh catalog)
+  vs warm cache hit of the same key, plus catalog query latency; written to
+  ``BENCH_catalog.json``.  The warm hit must re-serve a result with the
+  *same digest* as the cold mine — asserted before timing is trusted.
 
 Run:  python benchmarks/perf_smoke.py             (full, ~minutes)
       python benchmarks/perf_smoke.py --quick     (CI smoke, small graph)
 
-Both profiles assert result parity — backends must agree, and parallel runs
-must be bit-identical to serial — before trusting the clock, so the smoke
-doubles as an end-to-end integration check.  Not collected by pytest (no
-``test_`` prefix): timings carry no thresholds; CI only requires this script
-to finish and uploads the JSON as an artifact.
+All profiles assert result parity — backends must agree, parallel runs must
+be bit-identical to serial, cache hits bit-identical to cold mines — before
+trusting the clock, so the smoke doubles as an end-to-end integration check.
+Not collected by pytest (no ``test_`` prefix): timings carry no thresholds;
+CI only requires this script to finish and uploads the JSON as an artifact.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import hashlib
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -36,8 +41,10 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro import CachePolicy, SpiderMine, SpiderMineConfig  # noqa: E402
+from repro.catalog import CatalogQuery  # noqa: E402
 from repro.core import mine_spiders  # noqa: E402
-from repro.graph import barabasi_albert_graph, freeze  # noqa: E402
+from repro.graph import barabasi_albert_graph, freeze, synthetic_single_graph  # noqa: E402
 from repro.parallel import ExecutionPolicy  # noqa: E402
 
 EDGES_PER_VERTEX = 2
@@ -45,6 +52,14 @@ NUM_LABELS = 40
 SEED = 7
 BACKEND_RESULT_PATH = REPO_ROOT / "BENCH_graph_backend.json"
 PARALLEL_RESULT_PATH = REPO_ROOT / "BENCH_parallel_mining.json"
+CATALOG_RESULT_PATH = REPO_ROOT / "BENCH_catalog.json"
+
+#: profile -> (num_vertices, num_labels, large patterns, mining config kwargs)
+CATALOG_PROFILES = {
+    "full": (2000, 120, 4, dict(min_support=2, k=6, d_max=6, seed=0)),
+    "quick": (500, 60, 2, dict(min_support=2, k=4, d_max=6, seed=0)),
+}
+QUERY_REPEATS = 50
 
 #: profile -> (num_vertices, bfs_sources,
 #:             backend stage1 (support, size, emb cap),
@@ -188,6 +203,92 @@ def run_parallel_suite(profile, frozen, workers, graph_meta):
     )
 
 
+def run_catalog_suite(profile):
+    """Cold mine-and-store vs warm cache hit, plus query latency."""
+    num_vertices, labels, num_large, mine_kwargs = CATALOG_PROFILES[profile]
+    print(
+        f"catalog suite: synthetic graph |V|={num_vertices}, cold vs warm ...",
+        flush=True,
+    )
+    data = synthetic_single_graph(
+        num_vertices=num_vertices,
+        num_labels=labels,
+        average_degree=2.0,
+        num_large_patterns=num_large,
+        large_pattern_vertices=12,
+        large_pattern_support=2,
+        num_small_patterns=4,
+        small_pattern_vertices=3,
+        small_pattern_support=2,
+        seed=SEED,
+    )
+    graph = freeze(data.graph)
+
+    with tempfile.TemporaryDirectory(prefix="bench-catalog-") as store_dir:
+        config = SpiderMineConfig(cache=CachePolicy.at(store_dir), **mine_kwargs)
+
+        start = time.perf_counter()
+        cold = SpiderMine(graph, config).mine()
+        cold_seconds = time.perf_counter() - start
+        assert cold.cache_info["status"] == "stored"
+        print(
+            f"cold mine+store: {cold_seconds:.2f}s "
+            f"({len(cold.patterns)} patterns, largest |V|={cold.largest_size_vertices})",
+            flush=True,
+        )
+
+        start = time.perf_counter()
+        warm = SpiderMine(graph, config).mine()
+        warm_seconds = time.perf_counter() - start
+        assert warm.cache_info["status"] == "hit"
+        # The guarantee the whole subsystem rests on, end to end.
+        assert warm.digest() == cold.digest(), "cache hit diverged from cold mine"
+        print(f"warm cache hit:  {warm_seconds:.4f}s (digest verified)", flush=True)
+
+        query = CatalogQuery(store_dir)
+        start = time.perf_counter()
+        for _ in range(QUERY_REPEATS):
+            top = query.top_k(mine_kwargs["k"], by="vertices")
+        query_seconds = (time.perf_counter() - start) / QUERY_REPEATS
+        assert top
+        print(
+            f"top-k query:     {query_seconds * 1000:.2f}ms averaged over "
+            f"{QUERY_REPEATS} calls",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "catalog_perf_smoke",
+        "profile": profile,
+        "graph": {
+            "model": "synthetic_single_graph",
+            "num_vertices": num_vertices,
+            "num_labels": labels,
+            "num_large_patterns": num_large,
+            "seed": SEED,
+        },
+        "mining_config": mine_kwargs,
+        "cold_mine_seconds": round(cold_seconds, 4),
+        "warm_hit_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 1),
+        "query_top_k_seconds": round(query_seconds, 6),
+        "query_repeats": QUERY_REPEATS,
+        "num_patterns": len(cold.patterns),
+        "result_digest": cold.digest()[:16],
+        "note": (
+            "cold = full SpiderMine + catalog insert into a fresh store; warm = "
+            "content-addressed cache hit of the same (graph, config, version) "
+            "key, asserted bit-identical (same result digest) before timing; "
+            "query = CatalogQuery.top_k over the stored run's index summaries"
+        ),
+    }
+    CATALOG_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"catalog speedup: {payload['speedup']}x warm over cold — "
+        f"written to {CATALOG_RESULT_PATH.name}"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -204,7 +305,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-parallel",
         action="store_true",
-        help="only run the backend suite (regenerates BENCH_graph_backend.json)",
+        help="skip the parallel suite (BENCH_parallel_mining.json untouched)",
+    )
+    parser.add_argument(
+        "--skip-catalog",
+        action="store_true",
+        help="skip the catalog suite (BENCH_catalog.json untouched)",
     )
     args = parser.parse_args(argv)
     profile = "quick" if args.quick else "full"
@@ -236,6 +342,8 @@ def main(argv=None) -> int:
     run_backend_suite(profile, mutable, frozen, freeze_time, graph_meta)
     if not args.skip_parallel:
         run_parallel_suite(profile, frozen, args.workers, graph_meta)
+    if not args.skip_catalog:
+        run_catalog_suite(profile)
     return 0
 
 

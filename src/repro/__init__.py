@@ -26,13 +26,19 @@ Sub-packages
 ``repro.patterns``     patterns, embeddings, support measures, spiders
 ``repro.core``         SpiderMine itself
 ``repro.parallel``     execution policies + shared-memory process-pool mining
+``repro.catalog``      persistent result store, run cache, top-k query service
 ``repro.baselines``    SUBDUE, SEuS, MoSS, GREW, ORIGAMI, gSpan reimplementations
 ``repro.transaction``  graph-transaction setting
 ``repro.datasets``     the paper's synthetic datasets + DBLP/Jeti stand-ins
 ``repro.analysis``     distributions, reports, experiment harness
 """
 
+import re as _re
+from importlib import metadata as _metadata
+from pathlib import Path as _Path
+
 from .core import (
+    CachePolicy,
     MiningResult,
     MiningStatistics,
     SpiderMine,
@@ -42,14 +48,35 @@ from .core import (
 from .parallel import ExecutionPolicy
 from .patterns import Pattern, SupportMeasure
 from .graph import FrozenGraph, GraphView, LabeledGraph, freeze, thaw
+from .catalog import CatalogQuery, CatalogStore, RunCache
 
-__version__ = "1.2.0"
+
+def _detect_version() -> str:
+    """The installed package version (single source of truth: pyproject).
+
+    Falls back to parsing ``pyproject.toml`` for source checkouts that were
+    never ``pip install``-ed (the test conftests only extend ``sys.path``).
+    """
+    try:
+        return _metadata.version("spidermine-repro")
+    except _metadata.PackageNotFoundError:
+        pyproject = _Path(__file__).resolve().parents[2] / "pyproject.toml"
+        try:
+            text = pyproject.read_text(encoding="utf-8")
+        except OSError:
+            return "0+unknown"
+        match = _re.search(r'^version\s*=\s*"([^"]+)"', text, _re.MULTILINE)
+        return match.group(1) if match else "0+unknown"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "MiningResult",
     "MiningStatistics",
     "SpiderMine",
     "SpiderMineConfig",
+    "CachePolicy",
     "ExecutionPolicy",
     "mine_top_k_patterns",
     "Pattern",
@@ -59,5 +86,8 @@ __all__ = [
     "GraphView",
     "freeze",
     "thaw",
+    "CatalogStore",
+    "CatalogQuery",
+    "RunCache",
     "__version__",
 ]

@@ -1,0 +1,51 @@
+"""The pattern catalog: persistent storage and serving for mining runs.
+
+The fourth architectural layer of the reproduction (beneath graph →
+patterns/core → parallel): mine once, store durably, answer queries fast.
+
+* :mod:`repro.catalog.formats` — canonical JSON payloads and stable
+  content digests for graphs, spiders, results and configs;
+* :mod:`repro.catalog.store` — :class:`CatalogStore`, the content-addressed
+  on-disk store (graph snapshots + run records, atomic JSON index);
+* :mod:`repro.catalog.cache` — :class:`RunCache`, the
+  ``(graph, config, code version)``-keyed run cache that lets
+  :meth:`SpiderMine.mine` re-serve bit-identical results instead of
+  re-mining (enable with :class:`repro.core.config.CachePolicy` or the CLI
+  ``--cache DIR``);
+* :mod:`repro.catalog.query` — :class:`CatalogQuery`, top-k / label-filter /
+  containment queries over stored runs without loading data graphs.
+"""
+
+from .cache import RunCache, RunKey, code_version
+from .formats import (
+    FORMAT_VERSION,
+    CatalogFormatError,
+    canonical_json,
+    config_digest,
+    graph_digest,
+    payload_digest,
+    result_digest,
+    result_from_payload,
+    result_payload,
+)
+from .query import CatalogQuery, PatternRecord
+from .store import CatalogError, CatalogStore
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CatalogError",
+    "CatalogFormatError",
+    "CatalogQuery",
+    "CatalogStore",
+    "PatternRecord",
+    "RunCache",
+    "RunKey",
+    "canonical_json",
+    "code_version",
+    "config_digest",
+    "graph_digest",
+    "payload_digest",
+    "result_digest",
+    "result_from_payload",
+    "result_payload",
+]

@@ -1,0 +1,412 @@
+"""Canonical on-disk formats and content digests for the pattern catalog.
+
+Everything the catalog persists — data-graph snapshots, Stage-I spiders, full
+:class:`~repro.core.results.MiningResult`\\ s — goes through this module, which
+guarantees two properties:
+
+* **Determinism.**  Payloads are plain JSON trees with canonical ordering
+  everywhere (repr-sorted graph vertices/edges, sorted object keys at dump
+  time, insertion-order-preserving lists where mining order is itself the
+  deterministic contract).  Two processes — any Python version, any
+  ``PYTHONHASHSEED`` — serialising the same object produce the same bytes.
+* **Stable digests.**  :func:`payload_digest` is a SHA-256 over the canonical
+  JSON bytes, so digests are usable as content addresses: the run cache keys
+  on ``(graph_digest, config_digest, code_version)`` and a result's
+  :func:`result_digest` certifies bit-identical mining output across
+  backends, worker counts and cache hits.
+
+Vertex identifiers follow the conventions of :mod:`repro.graph.io`: they are
+coerced to strings on disk and decoded back to ``int`` when integer-like
+(mixed int/str graphs whose ids collide under ``str()`` are out of scope, as
+they already are for the ``.lg``/JSON graph formats).  Labels must be
+JSON-native values (``str``/``int``/``float``/``bool``/``None``) — every
+dataset and generator in this package uses strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields as dataclass_fields
+from typing import Dict, List, Optional, Sequence
+
+from ..core.results import MiningResult, MiningStatistics
+from ..graph.io import coerce_vertex_id, graph_from_dict, graph_to_dict
+from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
+from ..patterns.embedding import Embedding
+from ..patterns.pattern import Pattern
+from ..patterns.spider import Spider
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CatalogFormatError",
+    "canonical_json",
+    "payload_digest",
+    "graph_digest",
+    "config_payload",
+    "config_digest",
+    "stage1_config_digest",
+    "pattern_payload",
+    "pattern_from_payload",
+    "spider_payload",
+    "spider_from_payload",
+    "spiders_payload",
+    "spiders_from_payload",
+    "spiders_digest",
+    "result_payload",
+    "result_from_payload",
+    "result_digest",
+    "run_id_for_key",
+    "run_summary_from_record",
+]
+
+#: Version stamp written into every stored object.  Bump on any change to the
+#: payload shapes below; readers refuse unknown versions instead of guessing.
+FORMAT_VERSION = 1
+
+#: Config fields that never influence mining output and are therefore
+#: excluded from every config digest (the parity guarantee of the parallel
+#: engine and the cache itself).
+_RESULT_NEUTRAL_CONFIG_FIELDS = frozenset({"execution", "cache"})
+
+#: Config fields only Stages II/III read — excluded from the ``spiders`` run
+#: key.  A deny-list on purpose (mirroring the full-result key): a *new*
+#: config field lands in **both** keys until someone proves Stage I ignores
+#: it and adds it here, so a forgotten field can only cause an unnecessary
+#: cache miss — never a stale Stage-I serve feeding a wrong "fresh" result.
+STAGE2_ONLY_CONFIG_FIELDS = frozenset({
+    "k",
+    "epsilon",
+    "d_max",
+    "v_min",
+    "seed",
+    "max_patterns_per_iteration",
+    "max_occurrences_grown_per_entry",
+    "max_extensions_per_boundary",
+    "max_growth_iterations",
+    "max_seed_count",
+    "keep_unmerged_if_empty",
+    "min_vertices_reported",
+})
+
+#: Parameter keys that record *how* a run executed rather than *what* it
+#: produced; stripped before digesting a result.
+_VOLATILE_PARAMETER_KEYS = ("execution_mode", "workers")
+
+
+class CatalogFormatError(ValueError):
+    """Raised for payloads that cannot be serialised or parsed."""
+
+
+# ---------------------------------------------------------------------- #
+# canonical JSON + digests
+# ---------------------------------------------------------------------- #
+def canonical_json(payload) -> str:
+    """The canonical JSON encoding: sorted keys, compact, ASCII-safe."""
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+    except (TypeError, ValueError) as error:
+        raise CatalogFormatError(
+            f"payload is not canonically JSON-serialisable: {error}"
+        ) from error
+
+
+def payload_digest(payload) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("ascii")).hexdigest()
+
+
+def graph_digest(graph: GraphView) -> str:
+    """Content digest of a graph's canonical structure.
+
+    Backend- and insertion-order-independent: ``graph_to_dict`` emits
+    repr-sorted vertices and normalised repr-sorted edges, so two structurally
+    identical graphs always share a digest.
+    """
+    return payload_digest(graph_to_dict(graph))
+
+
+# ---------------------------------------------------------------------- #
+# vertex coding (matches repro.graph.io's conventions)
+# ---------------------------------------------------------------------- #
+def _encode_vertex(vertex: Vertex) -> str:
+    return str(vertex)
+
+
+def _decode_vertex(text: str) -> Vertex:
+    return coerce_vertex_id(text)
+
+
+# ---------------------------------------------------------------------- #
+# config digests
+# ---------------------------------------------------------------------- #
+def _canonical_value(name: str, value):
+    """A config field value as a canonical JSON scalar."""
+    if hasattr(value, "value"):  # enums (SupportMeasure)
+        return value.value
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CatalogFormatError(
+        f"config field {name!r} has non-JSON-native value {value!r}"
+    )
+
+
+def config_payload(config, field_names: Optional[Sequence[str]] = None) -> Dict:
+    """The result-affecting fields of a :class:`SpiderMineConfig` as a dict.
+
+    ``field_names=None`` takes every dataclass field except the
+    result-neutral policies (``execution``, ``cache``), so any *new* config
+    knob automatically invalidates old cache entries — the safe default.
+    """
+    if field_names is None:
+        field_names = [
+            f.name
+            for f in dataclass_fields(config)
+            if f.name not in _RESULT_NEUTRAL_CONFIG_FIELDS
+        ]
+    return {name: _canonical_value(name, getattr(config, name)) for name in field_names}
+
+
+def config_digest(config) -> str:
+    """Digest over every result-affecting config field (full-run key)."""
+    return payload_digest(config_payload(config))
+
+
+def stage1_config_payload(config) -> Dict:
+    """The Stage-I-relevant config fields (the ``spiders`` run key space)."""
+    names = [
+        f.name
+        for f in dataclass_fields(config)
+        if f.name not in _RESULT_NEUTRAL_CONFIG_FIELDS
+        and f.name not in STAGE2_ONLY_CONFIG_FIELDS
+    ]
+    return config_payload(config, names)
+
+
+def stage1_config_digest(config) -> str:
+    """Digest over the Stage-I-relevant fields only (``spiders`` run key)."""
+    return payload_digest(stage1_config_payload(config))
+
+
+# ---------------------------------------------------------------------- #
+# pattern graphs (order-preserving, unlike the canonical data-graph format)
+# ---------------------------------------------------------------------- #
+def _pattern_graph_payload(graph: LabeledGraph) -> Dict:
+    """Pattern graphs keep *insertion* order: the miners' discovery order is
+    deterministic, and preserving it exactly makes the round trip the
+    identity (a reloaded spider grows precisely like the original)."""
+    return {
+        "vertices": [[_encode_vertex(v), graph.label(v)] for v in graph.vertices()],
+        "edges": [[_encode_vertex(u), _encode_vertex(v)] for u, v in graph.edges()],
+    }
+
+
+def _pattern_graph_from_payload(data: Dict) -> LabeledGraph:
+    graph = LabeledGraph()
+    for key, label in data["vertices"]:
+        graph.add_vertex(_decode_vertex(key), label)
+    for u, v in data["edges"]:
+        graph.add_edge(_decode_vertex(u), _decode_vertex(v))
+    return graph
+
+
+def _embedding_payload(embedding: Embedding) -> List[List[str]]:
+    return [[_encode_vertex(p), _encode_vertex(g)] for p, g in embedding.mapping]
+
+
+def _embedding_from_payload(pairs: List[List[str]]) -> Embedding:
+    # Rebuilt pair-for-pair (not via from_dict) so the stored order — already
+    # from_dict's canonical order at mining time — survives byte-exactly.
+    return Embedding(
+        mapping=tuple((_decode_vertex(p), _decode_vertex(g)) for p, g in pairs)
+    )
+
+
+def pattern_payload(pattern: Pattern) -> Dict:
+    """One pattern with its graph, embeddings and cached canonical code."""
+    return {
+        "graph": _pattern_graph_payload(pattern.graph),
+        "embeddings": [_embedding_payload(e) for e in pattern.embeddings],
+        "code": pattern.code,
+    }
+
+
+def pattern_from_payload(data: Dict) -> Pattern:
+    return Pattern(
+        graph=_pattern_graph_from_payload(data["graph"]),
+        embeddings=[_embedding_from_payload(e) for e in data["embeddings"]],
+        _code=data.get("code"),
+    )
+
+
+def spider_payload(spider: Spider) -> Dict:
+    payload = pattern_payload(spider)
+    payload["head"] = _encode_vertex(spider.head)
+    payload["radius"] = spider.radius
+    return payload
+
+
+def spider_from_payload(data: Dict) -> Spider:
+    spider = Spider(
+        graph=_pattern_graph_from_payload(data["graph"]),
+        embeddings=[_embedding_from_payload(e) for e in data["embeddings"]],
+        head=_decode_vertex(data["head"]),
+        radius=data["radius"],
+    )
+    spider._code = data.get("code")
+    return spider
+
+
+def spiders_payload(spiders: Sequence[Spider]) -> Dict:
+    """A Stage-I result: the ordered frequent-spider list."""
+    return {
+        "format": FORMAT_VERSION,
+        "spiders": [spider_payload(s) for s in spiders],
+    }
+
+
+def spiders_from_payload(data: Dict) -> List[Spider]:
+    _check_format(data)
+    return [spider_from_payload(s) for s in data["spiders"]]
+
+
+def spiders_digest(spiders: Sequence[Spider]) -> str:
+    return payload_digest(spiders_payload(spiders))
+
+
+# ---------------------------------------------------------------------- #
+# mining results
+# ---------------------------------------------------------------------- #
+def result_payload(result: MiningResult) -> Dict:
+    """The full, deterministic JSON payload of a :class:`MiningResult`."""
+    return {
+        "format": FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "runtime_seconds": result.runtime_seconds,
+        "statistics": result.statistics.to_dict(),
+        "parameters": dict(result.parameters),
+        "patterns": [pattern_payload(p) for p in result.patterns],
+    }
+
+
+def result_from_payload(data: Dict) -> MiningResult:
+    _check_format(data)
+    return MiningResult(
+        algorithm=data["algorithm"],
+        patterns=[pattern_from_payload(p) for p in data["patterns"]],
+        runtime_seconds=data.get("runtime_seconds", 0.0),
+        statistics=MiningStatistics.from_dict(data.get("statistics", {})),
+        parameters=dict(data.get("parameters", {})),
+    )
+
+
+def result_digest(result) -> str:
+    """Digest of a result's deterministic core.
+
+    Accepts a :class:`MiningResult` or an already-built payload dict.
+    Wall-clock fields (``runtime_seconds``, per-stage durations) and execution
+    metadata (``execution_mode``, ``workers`` parameters) are stripped first:
+    they vary run to run while the mined output does not, and the digest
+    certifies the *output* — serial, parallel and cache-served runs of the
+    same key all share it.
+    """
+    payload = result if isinstance(result, dict) else result_payload(result)
+    core = {k: v for k, v in payload.items() if k != "runtime_seconds"}
+    statistics = dict(core.get("statistics", {}))
+    statistics.pop("stage_durations", None)
+    core["statistics"] = statistics
+    parameters = dict(core.get("parameters", {}))
+    for key in _VOLATILE_PARAMETER_KEYS:
+        parameters.pop(key, None)
+    core["parameters"] = parameters
+    return payload_digest(core)
+
+
+# ---------------------------------------------------------------------- #
+# run records → index summaries
+# ---------------------------------------------------------------------- #
+def run_id_for_key(key_payload: Dict[str, str]) -> str:
+    """The content address of a run: the digest of its key payload.
+
+    Single definition shared by :class:`repro.catalog.cache.RunKey` and the
+    store's gc, which validates recovered run files against their filename.
+    """
+    return payload_digest(key_payload)
+
+
+def run_summary_from_record(record: Dict) -> Dict:
+    """The lightweight index metadata of a stored run record.
+
+    Pure function of the record itself, so the summary an insert writes and
+    the summary :meth:`CatalogStore.gc` rebuilds when it recovers an
+    unindexed-but-valid run object (say, after a lost index update from two
+    concurrent writers) are identical.
+    """
+    _check_format(record)
+    kind = record["kind"]
+    key = record["key"]
+    meta = {
+        "kind": kind,
+        "graph_digest": key["graph"],
+        "config_digest": key["config"],
+        "code_version": key["code_version"],
+    }
+    if kind == "result":
+        payload = record["result"]
+        summaries = []
+        for index, pattern in enumerate(payload["patterns"]):
+            vertices = pattern["graph"]["vertices"]
+            summaries.append({
+                "index": index,
+                "num_vertices": len(vertices),
+                "num_edges": len(pattern["graph"]["edges"]),
+                "support": len(pattern["embeddings"]),
+                "labels": sorted({label for _, label in vertices}, key=repr),
+            })
+        largest = max(
+            ((s["num_vertices"], s["num_edges"]) for s in summaries),
+            default=(0, 0),
+        )
+        meta.update({
+            "algorithm": payload["algorithm"],
+            "result_digest": result_digest(payload),
+            "num_patterns": len(summaries),
+            "largest_vertices": largest[0],
+            "largest_edges": largest[1],
+            "patterns": summaries,
+        })
+    elif kind == "spiders":
+        body = record["spiders"]
+        meta.update({
+            "num_spiders": len(body["spiders"]),
+            "result_digest": payload_digest(body),
+        })
+    else:
+        raise CatalogFormatError(f"unknown run kind {kind!r}")
+    return meta
+
+
+# ---------------------------------------------------------------------- #
+# shared helpers
+# ---------------------------------------------------------------------- #
+def _check_format(data: Dict) -> None:
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise CatalogFormatError(
+            f"unsupported catalog format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+
+
+def data_graph_payload(graph: GraphView) -> Dict:
+    """A stored data-graph snapshot (canonical form + its digest)."""
+    body = graph_to_dict(graph)
+    return {"format": FORMAT_VERSION, "graph": body, "digest": payload_digest(body)}
+
+
+def data_graph_from_payload(data: Dict, backend: str = "dict"):
+    _check_format(data)
+    return graph_from_dict(data["graph"], frozen=(backend == "csr"))

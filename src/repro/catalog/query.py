@@ -1,0 +1,162 @@
+"""The catalog query layer: answer pattern questions from stored runs.
+
+Serving path of the subsystem: once runs are in a
+:class:`~repro.catalog.store.CatalogStore`, :class:`CatalogQuery` answers
+
+* **top-k** — the k largest (by vertices or edges) or best-supported
+  patterns across all stored result runs (or one run);
+* **label filter** — patterns containing a vertex with a given label;
+* **containment** — patterns containing a given needle graph as a
+  (label-preserving) subgraph.
+
+Top-k and label queries run entirely off the index's per-run summaries —
+no graph object, not even a run payload, is read.  Containment needs the
+stored pattern graphs (a few dozen vertices each) and loads run payloads
+lazily, caching per run; the *data* graphs — the objects that are actually
+massive — are never touched by any query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..graph.isomorphism import SubgraphMatcher
+from ..graph.labeled_graph import LabeledGraph
+from ..patterns.pattern import Pattern
+from .formats import pattern_from_payload
+from .store import CatalogStore, PathLike
+
+__all__ = ["PatternRecord", "CatalogQuery"]
+
+#: Ranking keys accepted by :meth:`CatalogQuery.top_k`.
+RANKINGS = ("vertices", "edges", "support")
+
+
+@dataclass(frozen=True)
+class PatternRecord:
+    """One stored pattern, as cheap metadata plus a lazy graph handle."""
+
+    run_id: str
+    index: int
+    num_vertices: int
+    num_edges: int
+    support: int
+    labels: Tuple = ()
+    algorithm: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"{self.run_id[:12]}#{self.index}: |V|={self.num_vertices} "
+            f"|E|={self.num_edges} support={self.support}"
+        )
+
+
+class CatalogQuery:
+    """Read-only query interface over one catalog store."""
+
+    def __init__(self, store: Union[CatalogStore, PathLike]) -> None:
+        self.store = store if isinstance(store, CatalogStore) else CatalogStore(store)
+        self._payload_cache: Dict[str, Dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # record enumeration (index summaries only)
+    # ------------------------------------------------------------------ #
+    def records(self, run_id: Optional[str] = None) -> Iterator[PatternRecord]:
+        """Every stored result pattern as a :class:`PatternRecord`.
+
+        Deterministic order: runs sorted by id, patterns by stored rank.
+        """
+        runs = self.store.list_runs(kind="result")
+        runs.sort(key=lambda r: r["run_id"])
+        for run in runs:
+            if run_id is not None and run["run_id"] != run_id:
+                continue
+            for entry in run.get("patterns", []):
+                yield PatternRecord(
+                    run_id=run["run_id"],
+                    index=entry["index"],
+                    num_vertices=entry["num_vertices"],
+                    num_edges=entry["num_edges"],
+                    support=entry["support"],
+                    labels=tuple(entry.get("labels", ())),
+                    algorithm=run.get("algorithm", ""),
+                )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def top_k(
+        self,
+        k: int,
+        by: str = "vertices",
+        label=None,
+        run_id: Optional[str] = None,
+    ) -> List[PatternRecord]:
+        """The k best stored patterns by size or support, optionally filtered.
+
+        ``by``: ``"vertices"`` (paper's default size notion), ``"edges"``
+        (the formal |P|) or ``"support"``.  Ties break deterministically on
+        the secondary size, then (run id, index).
+        """
+        if by not in RANKINGS:
+            raise ValueError(f"unknown ranking {by!r}; expected one of {RANKINGS}")
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        pool = self.records(run_id=run_id)
+        if label is not None:
+            pool = (r for r in pool if label in r.labels)
+
+        def rank(record: PatternRecord):
+            if by == "vertices":
+                primary = (record.num_vertices, record.num_edges)
+            elif by == "edges":
+                primary = (record.num_edges, record.num_vertices)
+            else:
+                primary = (record.support, record.num_vertices, record.num_edges)
+            # Negate the deterministic tiebreak so one reverse sort suffices.
+            return (*primary, record.run_id, -record.index)
+
+        ranked = sorted(pool, key=rank, reverse=True)
+        return ranked[:k]
+
+    def with_label(self, label, run_id: Optional[str] = None) -> List[PatternRecord]:
+        """All stored patterns containing a vertex labeled ``label``."""
+        return [r for r in self.records(run_id=run_id) if label in r.labels]
+
+    def containing(
+        self,
+        needle: Union[LabeledGraph, Pattern],
+        run_id: Optional[str] = None,
+    ) -> List[PatternRecord]:
+        """Stored patterns that contain ``needle`` as a label-preserving subgraph.
+
+        Matching runs against the stored *pattern* graphs (small); candidate
+        records are pre-filtered on size and label metadata before any
+        subgraph-isomorphism test runs.
+        """
+        graph = needle.graph if isinstance(needle, Pattern) else needle
+        needle_labels = set(graph.labels().values())
+        matches = []
+        for record in self.records(run_id=run_id):
+            if (
+                record.num_vertices < graph.num_vertices
+                or record.num_edges < graph.num_edges
+                or not needle_labels.issubset(record.labels)
+            ):
+                continue
+            candidate = self.load_pattern(record)
+            if SubgraphMatcher(graph, candidate.graph).exists():
+                matches.append(record)
+        return matches
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def load_pattern(self, record: PatternRecord) -> Pattern:
+        """The full :class:`Pattern` (graph + embeddings) behind a record."""
+        payload = self._payload_cache.get(record.run_id)
+        if payload is None:
+            payload = self.store.get_run_payload(record.run_id)
+            self._payload_cache[record.run_id] = payload
+        return pattern_from_payload(payload["result"]["patterns"][record.index])

@@ -1,0 +1,320 @@
+"""The persistent, content-addressed catalog store.
+
+On-disk layout (all plain JSON, human-inspectable)::
+
+    <root>/
+      catalog.json                  # the index: graphs + runs metadata
+      objects/
+        graphs/<graph_digest>.json  # canonical data-graph snapshots
+        runs/<run_id>.json          # stored runs (results or spider sets)
+
+Objects are **content-addressed**: a graph's file name is the digest of its
+canonical structure, a run's file name is the digest of its cache key
+``(graph_digest, config_digest, code_version, kind)``.  Storing the same
+content twice is a no-op, and two processes racing to store the same object
+write identical bytes.  Index updates go through an atomic
+write-to-temp-then-rename, so a crashed writer never leaves a torn index.
+
+The index keeps lightweight per-run summaries (pattern sizes, supports,
+label sets) precisely so the query layer (:mod:`repro.catalog.query`) can
+answer top-k and label-filter queries without touching graph objects at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..graph.view import GraphView
+from .formats import (
+    FORMAT_VERSION,
+    CatalogFormatError,
+    data_graph_from_payload,
+    data_graph_payload,
+    run_id_for_key,
+    run_summary_from_record,
+)
+
+__all__ = ["CatalogError", "CatalogStore"]
+
+PathLike = Union[str, Path]
+
+
+class CatalogError(RuntimeError):
+    """Raised for store-level failures (missing objects, bad index, ...)."""
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class CatalogStore:
+    """A directory-backed catalog of graph snapshots and mining runs."""
+
+    INDEX_NAME = "catalog.json"
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.graphs_dir = self.objects_dir / "graphs"
+        self.runs_dir = self.objects_dir / "runs"
+
+    # ------------------------------------------------------------------ #
+    # index handling
+    # ------------------------------------------------------------------ #
+    @property
+    def index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    def _empty_index(self) -> Dict:
+        return {"format": FORMAT_VERSION, "graphs": {}, "runs": {}}
+
+    def _load_index(self) -> Dict:
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return self._empty_index()
+        except (OSError, json.JSONDecodeError) as error:
+            raise CatalogError(
+                f"unreadable catalog index {self.index_path}: {error}"
+            ) from error
+        if data.get("format") != FORMAT_VERSION:
+            raise CatalogError(
+                f"catalog index {self.index_path} has format "
+                f"{data.get('format')!r}; this build reads {FORMAT_VERSION}"
+            )
+        return data
+
+    def _save_index(self, index: Dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self.index_path, json.dumps(index, indent=2, sort_keys=True) + "\n"
+        )
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                tmp.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # graphs
+    # ------------------------------------------------------------------ #
+    def put_graph(
+        self,
+        graph: GraphView,
+        pinned: bool = False,
+        digest: Optional[str] = None,
+        body: Optional[Dict] = None,
+    ) -> str:
+        """Store a graph snapshot; returns its content digest.
+
+        Content-addressed: an already-stored graph is not rewritten.
+        ``pinned=True`` (what ``catalog ingest`` uses) protects the snapshot
+        from :meth:`gc` even when no run references it.  Callers that already
+        serialised the graph (the run cache) pass ``digest`` — so an
+        already-stored snapshot skips re-serialising entirely — and ``body``
+        (the canonical ``graph_to_dict`` form behind that digest), so even a
+        first-time store serialises the graph only once.
+        """
+        if digest is not None and self.has_graph(digest):
+            entry = self._load_index()["graphs"].get(digest)
+            if entry is not None and (entry.get("pinned") or not pinned):
+                return digest
+        if digest is not None and body is not None:
+            payload = {"format": FORMAT_VERSION, "graph": body, "digest": digest}
+        else:
+            payload = data_graph_payload(graph)
+        digest = payload["digest"]
+        path = self.graphs_dir / f"{digest}.json"
+        if not path.exists():
+            self.graphs_dir.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(
+                path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        index = self._load_index()
+        entry = index["graphs"].get(digest)
+        meta = {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "pinned": bool(pinned or (entry or {}).get("pinned", False)),
+            "created_at": (entry or {}).get("created_at", _utc_now()),
+        }
+        if entry != meta:
+            index["graphs"][digest] = meta
+            self._save_index(index)
+        return digest
+
+    def has_graph(self, digest: str) -> bool:
+        return (self.graphs_dir / f"{digest}.json").exists()
+
+    def get_graph(self, digest: str, backend: str = "dict"):
+        """Load a stored snapshot in the requested backend (``dict``/``csr``)."""
+        path = self.graphs_dir / f"{digest}.json"
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CatalogError(
+                f"graph {digest} is not in the catalog at {self.root}"
+            ) from None
+        except (OSError, json.JSONDecodeError) as error:
+            raise CatalogError(f"unreadable graph object {path}: {error}") from error
+        try:
+            return data_graph_from_payload(payload, backend=backend)
+        except CatalogFormatError as error:
+            raise CatalogError(f"graph object {path}: {error}") from error
+
+    def list_graphs(self) -> Dict[str, Dict]:
+        """digest → index metadata for every stored graph."""
+        return dict(self._load_index()["graphs"])
+
+    # ------------------------------------------------------------------ #
+    # runs
+    # ------------------------------------------------------------------ #
+    def put_run(self, run_id: str, payload: Dict, meta: Dict) -> str:
+        """Store one run object and its index summary; returns ``run_id``.
+
+        ``payload`` is the full run record (written to ``objects/runs``);
+        ``meta`` is the lightweight summary kept in the index for listing and
+        querying.  An existing run with the same id is overwritten — run ids
+        are content addresses, so this only ever replaces equal-keyed data
+        (the ``refresh`` cache mode relies on it).
+        """
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self.runs_dir / f"{run_id}.json",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+        index = self._load_index()
+        index["runs"][run_id] = {**meta, "created_at": _utc_now()}
+        self._save_index(index)
+        return run_id
+
+    def has_run(self, run_id: str) -> bool:
+        return (self.runs_dir / f"{run_id}.json").exists()
+
+    def get_run_payload(self, run_id: str) -> Dict:
+        path = self.runs_dir / f"{run_id}.json"
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CatalogError(
+                f"run {run_id} is not in the catalog at {self.root}"
+            ) from None
+        except (OSError, json.JSONDecodeError) as error:
+            raise CatalogError(f"unreadable run object {path}: {error}") from error
+
+    def list_runs(self, kind: Optional[str] = None) -> List[Dict]:
+        """Index summaries (id included), newest first, optionally by kind."""
+        runs = []
+        for run_id, meta in self._load_index()["runs"].items():
+            if kind is not None and meta.get("kind") != kind:
+                continue
+            runs.append({"run_id": run_id, **meta})
+        runs.sort(key=lambda r: (r.get("created_at", ""), r["run_id"]), reverse=True)
+        return runs
+
+    # ------------------------------------------------------------------ #
+    # garbage collection
+    # ------------------------------------------------------------------ #
+    def gc(self) -> Dict[str, int]:
+        """Reconcile the index with the object tree and drop garbage.
+
+        The object tree is the ground truth and the index a rebuildable view
+        of it, so gc **recovers** before it deletes:
+
+        1. index entries whose object file vanished are dropped;
+        2. unindexed-but-valid object files are re-indexed (a lost index
+           update from two concurrent writers, say — the run object itself
+           carries everything its summary needs); files that do not parse as
+           valid objects are deleted as strays;
+        3. *unpinned* graphs referenced by no run are deleted — pinned graphs
+           (explicit ``catalog ingest``) always survive.  Recovered graphs
+           come back unpinned, so an orphaned snapshot still ages out here.
+
+        Returns removal/recovery counters.
+        """
+        index = self._load_index()
+        removed = {"runs": 0, "graphs": 0, "stray_files": 0, "recovered": 0}
+
+        # 1 + 2 for runs: drop dead entries, then recover or delete strays.
+        for run_id in list(index["runs"]):
+            if not self.has_run(run_id):
+                del index["runs"][run_id]
+                removed["runs"] += 1
+        if self.runs_dir.is_dir():
+            for path in self.runs_dir.glob("*.json"):
+                if path.stem in index["runs"]:
+                    continue
+                try:
+                    record = json.loads(path.read_text(encoding="utf-8"))
+                    # CatalogFormatError is a ValueError: caught below.
+                    meta = run_summary_from_record(record)
+                    # Run ids are content addresses of the key: a record
+                    # whose filename does not hash back from its own key is
+                    # misplaced, and re-indexing it would poison later
+                    # cache lookups of the id it squats on.
+                    valid = run_id_for_key(record["key"]) == path.stem
+                except (OSError, ValueError, KeyError, TypeError):
+                    valid = False
+                if not valid:
+                    path.unlink()
+                    removed["stray_files"] += 1
+                    continue
+                index["runs"][path.stem] = {**meta, "created_at": _utc_now()}
+                removed["recovered"] += 1
+
+        # 1 + 2 for graphs: same, validating the content address.
+        for digest in list(index["graphs"]):
+            if not self.has_graph(digest):
+                del index["graphs"][digest]
+                removed["graphs"] += 1
+        if self.graphs_dir.is_dir():
+            for path in self.graphs_dir.glob("*.json"):
+                if path.stem in index["graphs"]:
+                    continue
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                    body = payload["graph"]
+                    valid = payload.get("digest") == path.stem
+                    num_vertices = len(body["vertices"])
+                    num_edges = len(body["edges"])
+                except (OSError, ValueError, KeyError, TypeError):
+                    valid = False
+                if not valid:
+                    path.unlink()
+                    removed["stray_files"] += 1
+                    continue
+                index["graphs"][path.stem] = {
+                    "num_vertices": num_vertices,
+                    "num_edges": num_edges,
+                    "pinned": False,
+                    "created_at": _utc_now(),
+                }
+                removed["recovered"] += 1
+
+        # 3: collect unpinned graphs no run references.
+        referenced = {meta.get("graph_digest") for meta in index["runs"].values()}
+        for digest in list(index["graphs"]):
+            entry = index["graphs"][digest]
+            if not entry.get("pinned") and digest not in referenced:
+                (self.graphs_dir / f"{digest}.json").unlink()
+                del index["graphs"][digest]
+                removed["graphs"] += 1
+
+        self._save_index(index)
+        return removed

@@ -6,6 +6,7 @@ Sub-commands
 ``generate``  generate one of the paper's synthetic datasets and save it
 ``compare``   run SpiderMine and the single-graph baselines on a dataset
 ``spiders``   run only Stage I and report the spider statistics
+``catalog``   the persistent pattern catalog: ``ingest``/``list``/``query``/``gc``
 """
 
 from __future__ import annotations
@@ -17,9 +18,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import __version__
 from .analysis import RuntimeTable, SizeDistributionComparison
 from .baselines import run_seus, run_subdue
-from .core import SpiderMine, SpiderMineConfig, mine_spiders
+from .catalog import CatalogError, CatalogFormatError, CatalogQuery, CatalogStore
+from .core import CachePolicy, SpiderMine, SpiderMineConfig, mine_spiders
 from .datasets import generate_gid
 from .graph import GRAPH_BACKENDS, GraphView, io as graph_io
 from .parallel import ExecutionPolicy
@@ -69,6 +72,14 @@ def _execution_policy(args: argparse.Namespace) -> ExecutionPolicy:
     return ExecutionPolicy.process_pool(workers)
 
 
+def _cache_policy(args: argparse.Namespace) -> CachePolicy:
+    """The run-cache policy from ``--cache`` / ``--cache-mode`` (default off)."""
+    directory = getattr(args, "cache", None)
+    if directory is None:
+        return CachePolicy.off()
+    return CachePolicy.at(directory, mode=getattr(args, "cache_mode", "readwrite"))
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     execution = _execution_policy(args)
     graph = _load_graph(args.graph, backend=args.backend)
@@ -80,8 +91,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         radius=args.radius,
         seed=args.seed,
         execution=execution,
+        cache=_cache_policy(args),
     )
     result = SpiderMine(graph, config).mine()
+    if result.cache_info is not None:
+        status = result.cache_info["status"]
+        run_id = result.cache_info.get("run_id", "")
+        detail = f" run {run_id[:12]}" if run_id else ""
+        print(f"cache: {status}{detail} ({result.cache_info['store']})")
     print(result.summary())
     for index, pattern in enumerate(result.patterns, start=1):
         print(f"  #{index}: |V|={pattern.num_vertices} |E|={pattern.num_edges} "
@@ -152,10 +169,98 @@ def _cmd_spiders(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# catalog sub-commands
+# ---------------------------------------------------------------------- #
+def _cmd_catalog_ingest(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, backend=args.backend)
+    store = CatalogStore(args.store)
+    digest = store.put_graph(graph, pinned=True)
+    print(f"ingested {args.graph}: |V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(f"graph digest: {digest}")
+    return 0
+
+
+def _cmd_catalog_list(args: argparse.Namespace) -> int:
+    store = CatalogStore(args.store)
+    graphs = store.list_graphs()
+    runs = store.list_runs()
+    if args.json:
+        print(json.dumps({"graphs": graphs, "runs": runs}, indent=2, sort_keys=True))
+        return 0
+    print(f"catalog at {store.root}: {len(graphs)} graph(s), {len(runs)} run(s)")
+    for digest, meta in sorted(graphs.items()):
+        pin = " [pinned]" if meta.get("pinned") else ""
+        print(f"  graph {digest[:12]}: |V|={meta['num_vertices']} "
+              f"|E|={meta['num_edges']}{pin}")
+    for run in runs:
+        if run["kind"] == "result":
+            print(f"  run {run['run_id'][:12]}: {run['algorithm']} "
+                  f"{run['num_patterns']} patterns, "
+                  f"largest |V|={run['largest_vertices']} "
+                  f"(graph {run['graph_digest'][:12]})")
+        else:
+            print(f"  run {run['run_id'][:12]}: stage-I spiders "
+                  f"({run['num_spiders']}, graph {run['graph_digest'][:12]})")
+    return 0
+
+
+def _cmd_catalog_query(args: argparse.Namespace) -> int:
+    if args.top is not None and args.top < 0:
+        raise SystemExit(f"error: --top must be non-negative (got {args.top})")
+    top = args.top if args.top is not None else 10
+    query = CatalogQuery(args.store)
+    if args.contains:
+        needle = _load_graph(args.contains, backend="dict")
+        records = query.containing(needle, run_id=args.run)
+        if args.label is not None:
+            records = [r for r in records if args.label in r.labels]
+        records = records[:top]
+    else:
+        records = query.top_k(top, by=args.by, label=args.label, run_id=args.run)
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "run_id": r.run_id,
+                    "index": r.index,
+                    "num_vertices": r.num_vertices,
+                    "num_edges": r.num_edges,
+                    "support": r.support,
+                    "labels": list(r.labels),
+                }
+                for r in records
+            ],
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    if not records:
+        print("no matching patterns in the catalog")
+        return 0
+    for rank, record in enumerate(records, start=1):
+        print(f"  #{rank}: {record.describe()}")
+    return 0
+
+
+def _cmd_catalog_gc(args: argparse.Namespace) -> int:
+    removed = CatalogStore(args.store).gc()
+    print(f"gc: removed {removed['runs']} run(s), {removed['graphs']} graph(s), "
+          f"{removed['stray_files']} stray file(s); "
+          f"recovered {removed['recovered']} unindexed object(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spidermine",
         description="SpiderMine reproduction: top-K large structural pattern mining",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"spidermine-repro {__version__}",
+        help="print the installed package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -187,6 +292,21 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--radius", type=int, default=1, help="spider radius r")
     mine.add_argument("--seed", type=int, default=0, help="random seed")
     mine.add_argument("--output", help="write mined pattern graphs to this JSON file")
+    mine.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="catalog directory for the content-addressed run cache: a repeat "
+             "of a (graph, config, version) key re-serves the stored result "
+             "bit-identically instead of re-mining",
+    )
+    mine.add_argument(
+        "--cache-mode",
+        choices=["readwrite", "readonly", "refresh"],
+        default="readwrite",
+        dest="cache_mode",
+        help="readwrite serves hits and stores misses (default); readonly "
+             "never writes; refresh always re-mines and overwrites",
+    )
     add_backend_option(mine)
     mine.set_defaults(func=_cmd_mine)
 
@@ -215,13 +335,63 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_option(spiders)
     spiders.set_defaults(func=_cmd_spiders)
 
+    catalog = sub.add_parser(
+        "catalog", help="persistent pattern catalog: ingest, list, query, gc"
+    )
+    catalog_sub = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    ingest = catalog_sub.add_parser(
+        "ingest", help="store a graph snapshot in the catalog (pinned)"
+    )
+    ingest.add_argument("store", help="catalog directory (created if missing)")
+    ingest.add_argument("graph", help="input graph (.lg or .json)")
+    ingest.add_argument(
+        "--backend", choices=list(GRAPH_BACKENDS), default="csr",
+        help="backend used while reading the graph (stored form is canonical)",
+    )
+    ingest.set_defaults(func=_cmd_catalog_ingest)
+
+    list_cmd = catalog_sub.add_parser(
+        "list", help="list stored graphs and runs"
+    )
+    list_cmd.add_argument("store", help="catalog directory")
+    list_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+    list_cmd.set_defaults(func=_cmd_catalog_list)
+
+    query_cmd = catalog_sub.add_parser(
+        "query", help="query stored patterns (top-k, label filter, containment)"
+    )
+    query_cmd.add_argument("store", help="catalog directory")
+    query_cmd.add_argument("--top", type=int, default=None, metavar="K",
+                           help="return the K best patterns (default 10)")
+    query_cmd.add_argument("--by", choices=["vertices", "edges", "support"],
+                           default="vertices",
+                           help="ranking key for --top (ignored with --contains, "
+                                "whose results keep stored-run order)")
+    query_cmd.add_argument("--label", help="only patterns containing this vertex label")
+    query_cmd.add_argument("--contains", metavar="GRAPH",
+                           help="only patterns containing this graph file "
+                                "(.lg/.json) as a subgraph")
+    query_cmd.add_argument("--run", metavar="RUN_ID", help="restrict to one stored run")
+    query_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+    query_cmd.set_defaults(func=_cmd_catalog_query)
+
+    gc_cmd = catalog_sub.add_parser(
+        "gc", help="drop orphaned objects and unreferenced unpinned graphs"
+    )
+    gc_cmd.add_argument("store", help="catalog directory")
+    gc_cmd.set_defaults(func=_cmd_catalog_gc)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (CatalogError, CatalogFormatError) as error:
+        raise SystemExit(f"error: {error}") from error
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,7 +10,7 @@ Public surface:
 * :class:`GrowthEngine` — SpiderGrow / SpiderExtend / CheckMerge.
 """
 
-from .config import SpiderMineConfig
+from .config import CachePolicy, SpiderMineConfig
 from .probability import (
     SeedPlan,
     compute_seed_count,
@@ -33,6 +33,7 @@ from .growth import (
 from .spidermine import SpiderMine, mine_top_k_patterns
 
 __all__ = [
+    "CachePolicy",
     "SpiderMineConfig",
     "SeedPlan",
     "compute_seed_count",

@@ -16,6 +16,63 @@ from typing import Optional
 from ..parallel.policy import ExecutionPolicy
 from ..patterns.support import SupportMeasure
 
+#: Accepted values for :attr:`CachePolicy.mode`.
+CACHE_MODES = ("readwrite", "readonly", "refresh")
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Whether and how a mining run uses the persistent catalog's run cache.
+
+    The cache (:mod:`repro.catalog.cache`) is content-addressed by
+    ``(graph digest, config digest, code version)``, so a hit re-serves a
+    result bit-identical to mining afresh — the policy is purely an
+    engineering switch, like :class:`~repro.parallel.policy.ExecutionPolicy`.
+    """
+
+    directory: Optional[str] = None
+    """Catalog root directory; ``None`` (the default) disables caching."""
+
+    mode: str = "readwrite"
+    """``"readwrite"`` serves hits and stores misses; ``"readonly"`` serves
+    hits but never writes; ``"refresh"`` always re-mines and overwrites the
+    stored run (cache-busting for debugging or after data corrections)."""
+
+    store_graph: bool = True
+    """Also ingest the (content-addressed) data-graph snapshot on insert, so
+    the catalog stays self-contained — re-mining a stored run needs nothing
+    but the store.  Identical graphs are stored once."""
+
+    def __post_init__(self) -> None:
+        if self.mode not in CACHE_MODES:
+            raise ValueError(
+                f"unknown cache mode {self.mode!r}; expected one of {CACHE_MODES}"
+            )
+
+    @classmethod
+    def off(cls) -> "CachePolicy":
+        """The disabled default."""
+        return cls()
+
+    @classmethod
+    def at(cls, directory, mode: str = "readwrite") -> "CachePolicy":
+        """Cache in ``directory`` (created on first use)."""
+        return cls(directory=str(directory), mode=mode)
+
+    @property
+    def enabled(self) -> bool:
+        return self.directory is not None
+
+    @property
+    def reads(self) -> bool:
+        """Whether lookups may serve cached runs."""
+        return self.enabled and self.mode in ("readwrite", "readonly")
+
+    @property
+    def writes(self) -> bool:
+        """Whether freshly mined runs are stored."""
+        return self.enabled and self.mode in ("readwrite", "refresh")
+
 
 @dataclass
 class SpiderMineConfig:
@@ -105,6 +162,14 @@ class SpiderMineConfig:
     :mod:`repro.parallel`.  Flip with ``ExecutionPolicy.process_pool(n)`` or
     the CLI ``--workers`` flag."""
 
+    cache: CachePolicy = field(default_factory=CachePolicy)
+    """Run-cache policy (disabled by default; see :class:`CachePolicy`).
+
+    Like ``execution``, the cache never changes *what* is mined: its key
+    digests exclude both policies, so a result mined serially, in parallel,
+    or served from the cache is bit-identical.  Flip with
+    ``CachePolicy.at(directory)`` or the CLI ``--cache DIR`` flag."""
+
     def __post_init__(self) -> None:
         if self.min_support < 1:
             raise ValueError("min_support must be at least 1")
@@ -124,6 +189,8 @@ class SpiderMineConfig:
             self.support_measure = SupportMeasure(self.support_measure)
         if not isinstance(self.execution, ExecutionPolicy):
             raise ValueError("execution must be an ExecutionPolicy instance")
+        if not isinstance(self.cache, CachePolicy):
+            raise ValueError("cache must be a CachePolicy instance")
 
     @property
     def growth_iterations(self) -> int:

@@ -63,10 +63,19 @@ class SpiderMiner:
     miner never mutates it.  Pattern graphs under construction stay mutable.
     """
 
-    def __init__(self, graph: GraphView, config: Optional[SpiderMineConfig] = None) -> None:
+    def __init__(
+        self,
+        graph: GraphView,
+        config: Optional[SpiderMineConfig] = None,
+        run_cache=None,
+    ) -> None:
         self.graph = graph
         self.config = config or SpiderMineConfig()
         self._unit_labels: Optional[List[Hashable]] = None
+        # An optional already-open catalog RunCache (shared by SpiderMine so
+        # the graph digest is computed once per mine).  The cache *policy*
+        # still comes from config.cache; this only reuses the handle.
+        self._run_cache = run_cache
 
     # ------------------------------------------------------------------ #
     # public API
@@ -78,7 +87,24 @@ class SpiderMiner:
         unit in-process; a process policy fans units out over a worker pool
         sharing one zero-copy graph snapshot.  Both paths feed
         :func:`merge_unit_levels`, so the returned list is identical.
+
+        With an active ``config.cache``, the catalog's run cache is consulted
+        first under the ``spiders`` kind (keyed on the Stage-I-relevant config
+        fields only): a hit skips the search — including the whole parallel
+        fan-out — and re-serves the stored spider list unchanged.
         """
+        cache = None
+        policy = self.config.cache
+        if policy.enabled:
+            cache = self._run_cache
+            if cache is None:
+                from ..catalog.cache import RunCache
+
+                cache = RunCache(policy.directory)
+            if policy.reads:
+                cached = cache.load_spiders(self.graph, self.config)
+                if cached is not None:
+                    return cached
         if self.config.execution.uses_processes and self.unit_labels():
             from ..parallel.driver import mine_units_in_processes
 
@@ -87,7 +113,10 @@ class SpiderMiner:
             )
         else:
             unit_levels = self._mine_units_serial()
-        return merge_unit_levels(unit_levels, self.config.max_spiders)
+        spiders = merge_unit_levels(unit_levels, self.config.max_spiders)
+        if cache is not None and policy.writes:
+            cache.store_spiders(self.graph, self.config, spiders)
+        return spiders
 
     def _mine_units_serial(self) -> Dict[int, List[List[Spider]]]:
         """All units in-process, level-synchronized across units.

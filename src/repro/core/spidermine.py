@@ -54,14 +54,64 @@ class SpiderMine:
     # public API
     # ------------------------------------------------------------------ #
     def mine(self) -> MiningResult:
-        """Run all three stages and return the top-K largest patterns."""
+        """Run all three stages and return the top-K largest patterns.
+
+        When ``config.cache`` points at a catalog directory, the run cache is
+        consulted first: a hit re-serves the stored result — bit-identical to
+        mining afresh, because the cache key covers everything that affects
+        output (graph structure, result-affecting config, package version)
+        and nothing that does not (backend, worker count).  Fresh results are
+        stored back according to the policy's mode.
+
+        Contract on a cache hit: the *returned result* is complete, but the
+        run-internals attributes a fresh mine populates as byproducts
+        (``self.spiders``, ``self.seed_plan``) stay at their initial empty
+        values — Stage I never executes.  Code that inspects those must mine
+        without a cache (or with ``mode="refresh"``).
+        """
+        policy = self.config.cache
+        if not policy.enabled:
+            return self._mine_fresh()
+
+        from ..catalog.cache import RunCache
+
+        cache = RunCache(policy.directory)
+        if policy.reads:
+            cached = cache.load_result(self.graph, self.config)
+            if cached is not None:
+                return cached
+        # The same RunCache flows down to Stage I, so the (expensive) graph
+        # digest is computed once per mine, not once per layer.
+        result = self._mine_fresh(run_cache=cache)
+        if policy.writes:
+            run_id = cache.store_result(self.graph, self.config, result)
+            result.cache_info = {
+                "status": "stored",
+                "run_id": run_id,
+                "store": str(policy.directory),
+            }
+        else:
+            result.cache_info = {"status": "miss", "store": str(policy.directory)}
+        return result
+
+    def _mine_fresh(self, run_cache=None) -> MiningResult:
+        """The three mining stages (full-result cache not consulted).
+
+        ``run_cache`` is the caller's already-open
+        :class:`~repro.catalog.cache.RunCache`, shared with Stage I so the
+        graph digest is computed once; Stage I still applies the cache
+        *policy* itself (its ``spiders`` runs remain independently cached).
+        """
         config = self.config
         statistics = MiningStatistics()
+        # Re-arm the seed RNG so repeated mine() calls on one instance are
+        # deterministic — required for the cached == fresh parity guarantee.
+        self._rng = random.Random(config.seed)
         start = time.perf_counter()
 
         # Stage I ---------------------------------------------------------
         with stage_timer(statistics, "stage1_spiders"):
-            self.spiders = SpiderMiner(self.graph, config).mine()
+            self.spiders = SpiderMiner(self.graph, config, run_cache=run_cache).mine()
         statistics.num_spiders = len(self.spiders)
         spider_index = build_spider_index(self.spiders)
         engine = GrowthEngine(self.graph, spider_index, config)

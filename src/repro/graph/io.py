@@ -95,30 +95,58 @@ def read_lg(path: PathLike, frozen: bool = False) -> List[GraphLike]:
 # JSON format
 # ---------------------------------------------------------------------- #
 def graph_to_dict(graph: GraphView) -> Dict:
-    """A JSON-serialisable dict for one graph (vertex ids coerced to str keys)."""
+    """A JSON-serialisable dict for one graph (vertex ids coerced to str keys).
+
+    The emission is **canonical**: vertices are repr-sorted and edges are
+    normalised (repr-lower endpoint first) and repr-sorted, so two
+    structurally identical graphs — regardless of backend or insertion order —
+    serialise to the same bytes.  The catalog layer
+    (:mod:`repro.catalog.formats`) relies on this to derive stable
+    content-addressed digests.
+    """
+    vertices = sorted(graph.vertices(), key=repr)
+    edges = []
+    for u, v in graph.edges():
+        if repr(v) < repr(u):
+            u, v = v, u
+        edges.append((u, v))
+    edges.sort(key=lambda e: (repr(e[0]), repr(e[1])))
     return {
-        "vertices": {str(v): graph.label(v) for v in graph.vertices()},
-        "edges": [[str(u), str(v)] for u, v in graph.edges()],
+        "vertices": {str(v): graph.label(v) for v in vertices},
+        "edges": [[str(u), str(v)] for u, v in edges],
     }
+
+
+def coerce_vertex_id(text: str):
+    """Decode a stringified vertex id: ``int`` when integer-like, else the string.
+
+    The shared inverse of the ``str(vertex)`` coding used by the JSON graph
+    format and the catalog payloads (:mod:`repro.catalog.formats`).
+    """
+    if text.lstrip("-").isdigit():
+        try:
+            return int(text)
+        except ValueError:  # e.g. "--5": digit-check passes, int() does not
+            return text
+    return text
 
 
 def graph_from_dict(data: Dict, frozen: bool = False) -> GraphLike:
     """Inverse of :func:`graph_to_dict`.  Vertex ids become strings or ints."""
     graph = LabeledGraph()
-
-    def coerce(key: str):
-        return int(key) if key.lstrip("-").isdigit() else key
-
     for key, label in data["vertices"].items():
-        graph.add_vertex(coerce(key), label)
+        graph.add_vertex(coerce_vertex_id(key), label)
     for u, v in data["edges"]:
-        graph.add_edge(coerce(u), coerce(v))
+        graph.add_edge(coerce_vertex_id(u), coerce_vertex_id(v))
     return freeze(graph) if frozen else graph
 
 
 def write_json(graphs: Sequence[GraphView], path: PathLike) -> None:
+    """Write graphs as canonical JSON (sorted keys, canonical vertex/edge order)."""
     payload = [graph_to_dict(g) for g in graphs]
-    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
 
 
 def read_json(path: PathLike, frozen: bool = False) -> List[GraphLike]:

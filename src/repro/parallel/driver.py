@@ -93,9 +93,16 @@ def mine_units_in_processes(
     already-computed unit count (``len(SpiderMiner.unit_labels())``); it is
     re-derived from the graph when omitted.
     """
+    from ..core.config import CachePolicy
+
     policy: ExecutionPolicy = config.execution
-    # Workers run their units strictly serially: the pool is the only fan-out.
-    worker_config = replace(config, execution=ExecutionPolicy.serial())
+    # Workers run their units strictly serially (the pool is the only
+    # fan-out) and never touch the run cache — caching happens once, in the
+    # parent, around the merged result; per-worker lookups would only add
+    # filesystem traffic for keys the parent already resolved.
+    worker_config = replace(
+        config, execution=ExecutionPolicy.serial(), cache=CachePolicy.off()
+    )
     frozen = freeze(graph)
     if num_units is None:
         from ..core.spider_miner import SpiderMiner

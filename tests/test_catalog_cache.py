@@ -1,0 +1,257 @@
+"""The content-addressed run cache and its bit-identity guarantee.
+
+The acceptance contract of the catalog subsystem: a cache hit re-serves a
+result **bit-identical** to a fresh serial mine (same result digest), for
+both graph backends and multiple worker counts; changing the graph or any
+result-affecting config field invalidates the entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CachePolicy,
+    ExecutionPolicy,
+    SpiderMine,
+    SpiderMineConfig,
+)
+from repro.catalog import CatalogStore, RunCache
+from repro.core.spider_miner import SpiderMiner
+from repro.graph import LabeledGraph, freeze, synthetic_single_graph
+
+
+def mining_graph(seed: int = 5) -> LabeledGraph:
+    return synthetic_single_graph(
+        num_vertices=200, num_labels=30, average_degree=2.0,
+        num_large_patterns=2, large_pattern_vertices=10, large_pattern_support=2,
+        num_small_patterns=2, small_pattern_vertices=3, small_pattern_support=2,
+        seed=seed,
+    ).graph
+
+
+def config(tmp_path=None, mode="readwrite", **overrides) -> SpiderMineConfig:
+    cache = CachePolicy.off() if tmp_path is None else CachePolicy.at(tmp_path, mode)
+    defaults = dict(min_support=2, k=4, d_max=6, seed=0)
+    defaults.update(overrides)
+    return SpiderMineConfig(cache=cache, **defaults)
+
+
+@pytest.fixture(scope="module")
+def graph() -> LabeledGraph:
+    return mining_graph()
+
+
+@pytest.fixture(scope="module")
+def fresh_serial_digest(graph) -> str:
+    """The reference digest: an uncached, serial, dict-backend mine."""
+    return SpiderMine(graph, config()).mine().digest()
+
+
+class TestBitIdenticalReServe:
+    def test_cold_then_warm_matches_fresh_serial(self, graph, fresh_serial_digest, tmp_path):
+        cold = SpiderMine(graph, config(tmp_path)).mine()
+        assert cold.cache_info["status"] == "stored"
+        assert cold.digest() == fresh_serial_digest
+
+        warm = SpiderMine(graph, config(tmp_path)).mine()
+        assert warm.cache_info["status"] == "hit"
+        assert warm.digest() == fresh_serial_digest
+
+    def test_warm_hit_does_not_re_mine(self, graph, tmp_path, monkeypatch):
+        SpiderMine(graph, config(tmp_path)).mine()
+
+        def boom(self, run_cache=None):
+            raise AssertionError("cache hit must not re-mine")
+
+        monkeypatch.setattr(SpiderMine, "_mine_fresh", boom)
+        served = SpiderMine(graph, config(tmp_path)).mine()
+        assert served.cache_info["status"] == "hit"
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_insert_serves_serial_lookup(
+        self, graph, fresh_serial_digest, tmp_path, workers
+    ):
+        """Worker count is key-neutral: a parallel mine fills the cache for
+        every later run of the same (graph, config), serial included."""
+        parallel_config = config(
+            tmp_path, execution=ExecutionPolicy.process_pool(workers)
+        )
+        inserted = SpiderMine(freeze(graph), parallel_config).mine()
+        assert inserted.cache_info["status"] == "stored"
+        assert inserted.digest() == fresh_serial_digest
+
+        served = SpiderMine(graph, config(tmp_path)).mine()
+        assert served.cache_info["status"] == "hit"
+        assert served.digest() == fresh_serial_digest
+
+    def test_backend_is_key_neutral(self, graph, fresh_serial_digest, tmp_path):
+        stored = SpiderMine(freeze(graph), config(tmp_path)).mine()
+        assert stored.cache_info["status"] == "stored"
+        served = SpiderMine(graph, config(tmp_path)).mine()
+        assert served.cache_info["status"] == "hit"
+        assert served.digest() == fresh_serial_digest
+
+    def test_served_result_is_fully_materialised(self, graph, tmp_path):
+        original = SpiderMine(graph, config(tmp_path)).mine()
+        served = SpiderMine(graph, config(tmp_path)).mine()
+        assert len(served.patterns) == len(original.patterns)
+        for mine_p, served_p in zip(original.patterns, served.patterns):
+            assert served_p.graph == mine_p.graph
+            assert served_p.embeddings == mine_p.embeddings
+            assert served_p.code == mine_p.code
+        assert served.parameters == original.parameters
+        assert served.statistics.to_dict() == original.statistics.to_dict()
+
+
+class TestInvalidation:
+    def test_config_change_misses(self, graph, tmp_path):
+        SpiderMine(graph, config(tmp_path)).mine()
+        changed = SpiderMine(graph, config(tmp_path, min_support=3)).mine()
+        assert changed.cache_info["status"] == "stored"  # miss → mined → stored
+
+    def test_graph_change_misses(self, graph, tmp_path):
+        SpiderMine(graph, config(tmp_path)).mine()
+        other = mining_graph(seed=6)
+        changed = SpiderMine(other, config(tmp_path)).mine()
+        assert changed.cache_info["status"] == "stored"
+
+    def test_code_version_fences_entries(self, graph, tmp_path, monkeypatch):
+        SpiderMine(graph, config(tmp_path)).mine()
+        monkeypatch.setattr("repro.__version__", "999.0.0")
+        rerun = SpiderMine(graph, config(tmp_path)).mine()
+        assert rerun.cache_info["status"] == "stored"
+
+
+class TestModes:
+    def test_readonly_serves_but_never_writes(self, graph, tmp_path):
+        first = SpiderMine(graph, config(tmp_path, mode="readonly")).mine()
+        assert first.cache_info["status"] == "miss"
+        assert CatalogStore(tmp_path).list_runs() == []
+
+        SpiderMine(graph, config(tmp_path)).mine()  # readwrite fills it
+        served = SpiderMine(graph, config(tmp_path, mode="readonly")).mine()
+        assert served.cache_info["status"] == "hit"
+
+    def test_refresh_re_mines_and_overwrites(self, graph, tmp_path, monkeypatch):
+        SpiderMine(graph, config(tmp_path)).mine()
+
+        def boom(self, run_cache=None):
+            raise AssertionError("refresh must re-mine")
+
+        monkeypatch.setattr(SpiderMine, "_mine_fresh", boom)
+        with pytest.raises(AssertionError, match="refresh must re-mine"):
+            SpiderMine(graph, config(tmp_path, mode="refresh")).mine()
+
+    def test_disabled_cache_never_touches_disk(self, graph, tmp_path):
+        result = SpiderMine(graph, config()).mine()
+        assert result.cache_info is None
+        assert not (tmp_path / "catalog.json").exists()
+
+
+class TestSpiderCache:
+    def test_stage1_hit_skips_search(self, graph, tmp_path, monkeypatch):
+        miner_config = config(tmp_path)
+        first = SpiderMiner(graph, miner_config).mine()
+
+        def boom(self, unit):
+            raise AssertionError("spider cache hit must not search")
+
+        monkeypatch.setattr(SpiderMiner, "iter_unit_levels", boom)
+        served = SpiderMiner(graph, miner_config).mine()
+        assert [s.spider_code() for s in served] == [s.spider_code() for s in first]
+        assert [s.embeddings for s in served] == [s.embeddings for s in first]
+
+    def test_cached_spiders_feed_identical_full_mine(
+        self, graph, fresh_serial_digest, tmp_path
+    ):
+        """A full-result miss that reuses cached Stage-I spiders must still
+        produce the reference output (k differs → result key differs, but the
+        stage-1 key matches)."""
+        SpiderMine(graph, config(tmp_path, k=2)).mine()  # fills the spiders run
+        assert CatalogStore(tmp_path).list_runs(kind="spiders")
+        result = SpiderMine(graph, config(tmp_path, k=4)).mine()
+        assert result.cache_info["status"] == "stored"
+        assert result.digest() == fresh_serial_digest
+
+
+class TestBrokenObjectsDegradeToMiss:
+    def test_truncated_result_object_is_a_miss_and_self_heals(self, graph, tmp_path):
+        SpiderMine(graph, config(tmp_path)).mine()
+        store = CatalogStore(tmp_path)
+        run_id = store.list_runs(kind="result")[0]["run_id"]
+        path = store.runs_dir / f"{run_id}.json"
+        path.write_text('{"truncated', encoding="utf-8")
+
+        healed = SpiderMine(graph, config(tmp_path)).mine()
+        # Broken object → miss → re-mine → readwrite overwrites it...
+        assert healed.cache_info["status"] == "stored"
+        # ...and the next lookup serves cleanly again.
+        served = SpiderMine(graph, config(tmp_path)).mine()
+        assert served.cache_info["status"] == "hit"
+        assert served.digest() == healed.digest()
+
+    def test_newer_format_version_is_a_miss_not_a_crash(self, graph, tmp_path):
+        import json as json_module
+
+        SpiderMine(graph, config(tmp_path)).mine()
+        store = CatalogStore(tmp_path)
+        run_id = store.list_runs(kind="result")[0]["run_id"]
+        path = store.runs_dir / f"{run_id}.json"
+        record = json_module.loads(path.read_text(encoding="utf-8"))
+        record["result"]["format"] = 999
+        path.write_text(json_module.dumps(record), encoding="utf-8")
+
+        result = SpiderMine(graph, config(tmp_path)).mine()
+        assert result.cache_info["status"] == "stored"
+
+
+class TestGraphDigestMemo:
+    def test_distinct_graphs_distinct_digests_one_cache(self, graph, tmp_path):
+        cache = RunCache(tmp_path)
+        cfg = config()
+        other = mining_graph(seed=7)
+        key_a = cache.result_key(graph, cfg)
+        key_b = cache.result_key(other, cfg)
+        assert key_a.graph_digest != key_b.graph_digest
+        # Memoised: repeated keys are identical and entries pin their graphs,
+        # so a recycled id can never alias a freed graph's digest.
+        assert cache.result_key(graph, cfg) == key_a
+        pinned = [entry[0] for entry in cache._graph_digest_memo.values()]
+        assert any(g is graph for g in pinned)
+        assert any(g is other for g in pinned)
+
+    def test_store_path_serialises_once(self, graph, tmp_path, monkeypatch):
+        """The canonical body built for the key digest is reused (not rebuilt)
+        for the graph snapshot insert."""
+        import repro.catalog.cache as cache_module
+
+        calls = {"n": 0}
+        real = cache_module.graph_to_dict
+
+        def counting(g):
+            calls["n"] += 1
+            return real(g)
+
+        monkeypatch.setattr(cache_module, "graph_to_dict", counting)
+        cache = RunCache(tmp_path)
+        cfg = config(tmp_path)
+        result = SpiderMine(graph, config()).mine()
+        cache.store_result(graph, cfg, result)
+        assert calls["n"] == 1
+        assert CatalogStore(tmp_path).has_graph(
+            cache.result_key(graph, cfg).graph_digest
+        )
+
+
+class TestRunCacheCounters:
+    def test_hits_misses_inserts(self, graph, tmp_path):
+        cache = RunCache(tmp_path)
+        cfg = config(tmp_path)
+        assert cache.load_result(graph, cfg) is None
+        assert cache.misses == 1
+        result = SpiderMine(graph, config()).mine()
+        cache.store_result(graph, cfg, result)
+        assert cache.inserts == 1
+        assert cache.load_result(graph, cfg) is not None
+        assert cache.hits == 1

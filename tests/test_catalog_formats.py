@@ -1,0 +1,250 @@
+"""Canonical serialisation and digest stability (repro.catalog.formats)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import SpiderMine, SpiderMineConfig, CachePolicy, ExecutionPolicy
+from repro.catalog.formats import (
+    CatalogFormatError,
+    canonical_json,
+    config_digest,
+    config_payload,
+    graph_digest,
+    pattern_from_payload,
+    pattern_payload,
+    payload_digest,
+    result_digest,
+    result_from_payload,
+    result_payload,
+    spider_from_payload,
+    spider_payload,
+    stage1_config_digest,
+)
+from repro.graph import LabeledGraph, freeze, synthetic_single_graph
+from repro.patterns.support import SupportMeasure
+
+
+def small_mining_graph(seed: int = 5):
+    return synthetic_single_graph(
+        num_vertices=150, num_labels=25, average_degree=2.0,
+        num_large_patterns=1, large_pattern_vertices=8, large_pattern_support=2,
+        num_small_patterns=2, small_pattern_vertices=3, small_pattern_support=2,
+        seed=seed,
+    ).graph
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_and_compact(self):
+        assert canonical_json({"b": 1, "a": [2, {"d": 3, "c": 4}]}) == (
+            '{"a":[2,{"c":4,"d":3}],"b":1}'
+        )
+
+    def test_non_serialisable_raises_format_error(self):
+        with pytest.raises(CatalogFormatError):
+            canonical_json({"x": object()})
+
+    def test_payload_digest_is_sha256_hex(self):
+        digest = payload_digest({"a": 1})
+        assert len(digest) == 64
+        assert digest == payload_digest({"a": 1})
+        assert digest != payload_digest({"a": 2})
+
+
+class TestGraphDigest:
+    def test_backend_independent(self):
+        graph = small_mining_graph()
+        assert graph_digest(graph) == graph_digest(freeze(graph))
+
+    def test_insertion_order_independent(self):
+        graph = small_mining_graph()
+        reordered = LabeledGraph()
+        for v in sorted(graph.vertices(), key=repr, reverse=True):
+            reordered.add_vertex(v, graph.label(v))
+        for u, v in sorted(graph.edges(), key=repr, reverse=True):
+            reordered.add_edge(u, v)
+        assert graph_digest(graph) == graph_digest(reordered)
+
+    def test_structure_sensitive(self):
+        a = LabeledGraph()
+        a.add_vertex(0, "A")
+        a.add_vertex(1, "B")
+        a.add_edge(0, 1)
+        b = LabeledGraph()
+        b.add_vertex(0, "A")
+        b.add_vertex(1, "B")
+        c = LabeledGraph()
+        c.add_vertex(0, "A")
+        c.add_vertex(1, "C")
+        c.add_edge(0, 1)
+        digests = {graph_digest(g) for g in (a, b, c)}
+        assert len(digests) == 3
+
+
+class TestConfigDigest:
+    def test_execution_and_cache_are_neutral(self):
+        base = SpiderMineConfig(min_support=2, k=4)
+        parallel = SpiderMineConfig(
+            min_support=2, k=4, execution=ExecutionPolicy.process_pool(4)
+        )
+        cached = SpiderMineConfig(
+            min_support=2, k=4, cache=CachePolicy.at("/tmp/nowhere")
+        )
+        assert config_digest(base) == config_digest(parallel) == config_digest(cached)
+
+    def test_result_affecting_fields_invalidate(self):
+        base = SpiderMineConfig(min_support=2, k=4)
+        assert config_digest(base) != config_digest(SpiderMineConfig(min_support=3, k=4))
+        assert config_digest(base) != config_digest(SpiderMineConfig(min_support=2, k=5))
+        assert config_digest(base) != config_digest(
+            SpiderMineConfig(min_support=2, k=4, seed=1)
+        )
+
+    def test_stage1_digest_ignores_later_stage_knobs(self):
+        base = SpiderMineConfig(min_support=2, k=4)
+        other_k = SpiderMineConfig(min_support=2, k=9, d_max=8)
+        assert stage1_config_digest(base) == stage1_config_digest(other_k)
+        assert stage1_config_digest(base) != stage1_config_digest(
+            SpiderMineConfig(min_support=2, k=4, radius=2)
+        )
+
+    def test_stage1_key_is_deny_list_based(self):
+        """A new config field lands in BOTH cache keys until classified.
+
+        If this test fails because you added a SpiderMineConfig field: either
+        Stage I reads it (nothing to do — the key already covers it, update
+        the expected set below) or it is Stage-II/III-only (add it to
+        STAGE2_ONLY_CONFIG_FIELDS in catalog/formats.py, then update below).
+        Never let a Stage-I-relevant field into STAGE2_ONLY_CONFIG_FIELDS:
+        that would serve stale spiders.
+        """
+        from dataclasses import fields as dataclass_fields
+
+        from repro.catalog.formats import (
+            STAGE2_ONLY_CONFIG_FIELDS,
+            stage1_config_payload,
+        )
+
+        config = SpiderMineConfig()
+        payload = stage1_config_payload(config)
+        every_field = {f.name for f in dataclass_fields(config)}
+        assert set(payload) == (
+            every_field - {"execution", "cache"} - STAGE2_ONLY_CONFIG_FIELDS
+        )
+        assert set(payload) == {
+            "min_support",
+            "radius",
+            "max_spider_size",
+            "max_spiders",
+            "max_embeddings_per_pattern",
+            "support_measure",
+        }
+
+    def test_support_measure_serialised_by_value(self):
+        config = SpiderMineConfig(support_measure=SupportMeasure.EDGE_DISJOINT)
+        assert (
+            config_payload(config)["support_measure"]
+            == SupportMeasure.EDGE_DISJOINT.value
+        )
+
+
+class TestRoundTrips:
+    @pytest.fixture(scope="class")
+    def mined(self):
+        graph = freeze(small_mining_graph())
+        config = SpiderMineConfig(min_support=2, k=4, d_max=6, seed=0)
+        return SpiderMine(graph, config).mine()
+
+    def test_pattern_round_trip(self, mined):
+        for pattern in mined.patterns:
+            rebuilt = pattern_from_payload(pattern_payload(pattern))
+            assert rebuilt.graph == pattern.graph
+            assert rebuilt.embeddings == pattern.embeddings
+            assert rebuilt.code == pattern.code
+            assert pattern_payload(rebuilt) == pattern_payload(pattern)
+
+    def test_spider_round_trip(self):
+        from repro.core import mine_spiders
+
+        spiders = mine_spiders(freeze(small_mining_graph()), min_support=2)
+        assert spiders
+        for spider in spiders[:20]:
+            rebuilt = spider_from_payload(spider_payload(spider))
+            assert rebuilt.graph == spider.graph
+            assert rebuilt.head == spider.head
+            assert rebuilt.radius == spider.radius
+            assert rebuilt.embeddings == spider.embeddings
+            assert rebuilt.spider_code() == spider.spider_code()
+
+    def test_result_round_trip_preserves_digest(self, mined):
+        payload = result_payload(mined)
+        rebuilt = result_from_payload(payload)
+        assert result_payload(rebuilt) == payload
+        assert result_digest(rebuilt) == result_digest(mined)
+        assert rebuilt.runtime_seconds == mined.runtime_seconds
+        assert rebuilt.statistics.to_dict() == mined.statistics.to_dict()
+        assert rebuilt.parameters == mined.parameters
+
+    def test_result_digest_ignores_wall_clock_and_execution(self, mined):
+        payload = result_payload(mined)
+        tweaked = dict(payload)
+        tweaked["runtime_seconds"] = 123.456
+        tweaked["statistics"] = dict(payload["statistics"])
+        tweaked["statistics"]["stage_durations"] = {"stage1_spiders": 9.9}
+        tweaked["parameters"] = dict(payload["parameters"])
+        tweaked["parameters"]["execution_mode"] = "process"
+        tweaked["parameters"]["workers"] = 8
+        assert result_digest(tweaked) == result_digest(payload)
+
+    def test_result_digest_sees_pattern_changes(self, mined):
+        payload = result_payload(mined)
+        truncated = dict(payload)
+        truncated["patterns"] = payload["patterns"][:-1]
+        assert result_digest(truncated) != result_digest(payload)
+
+    def test_to_json_dict_matches_formats(self, mined):
+        assert mined.to_json_dict() == result_payload(mined)
+        assert mined.digest() == result_digest(mined)
+
+
+class TestCrossProcessStability:
+    """Digests are stable under string-hash randomisation (satellite task)."""
+
+    PROBE = """
+import sys
+sys.path.insert(0, {src!r})
+from repro import SpiderMine, SpiderMineConfig
+from repro.catalog.formats import graph_digest, result_digest
+from repro.graph import freeze, synthetic_single_graph
+
+graph = synthetic_single_graph(
+    num_vertices=150, num_labels=25, average_degree=2.0,
+    num_large_patterns=1, large_pattern_vertices=8, large_pattern_support=2,
+    num_small_patterns=2, small_pattern_vertices=3, small_pattern_support=2,
+    seed=5,
+).graph
+result = SpiderMine(freeze(graph), SpiderMineConfig(min_support=2, k=4, d_max=6, seed=0)).mine()
+print(graph_digest(graph))
+print(result_digest(result))
+"""
+
+    def test_digests_stable_across_hash_seeds(self):
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        outputs = []
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            proc = subprocess.run(
+                [sys.executable, "-c", self.PROBE.format(src=src)],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(proc.stdout.strip().splitlines())
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert len(outputs[0]) == 2

@@ -1,0 +1,149 @@
+"""The catalog query layer (repro.catalog.query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CachePolicy, SpiderMine, SpiderMineConfig
+from repro.catalog import CatalogQuery, CatalogStore
+from repro.graph import LabeledGraph, synthetic_single_graph
+
+
+@pytest.fixture(scope="module")
+def populated_store(tmp_path_factory):
+    """A catalog holding the runs of two different configs on one graph."""
+    root = tmp_path_factory.mktemp("catalog")
+    graph = synthetic_single_graph(
+        num_vertices=200, num_labels=30, average_degree=2.0,
+        num_large_patterns=2, large_pattern_vertices=10, large_pattern_support=2,
+        num_small_patterns=2, small_pattern_vertices=3, small_pattern_support=2,
+        seed=5,
+    ).graph
+    results = {}
+    for k in (2, 4):
+        cfg = SpiderMineConfig(
+            min_support=2, k=k, d_max=6, seed=0, cache=CachePolicy.at(root)
+        )
+        results[k] = SpiderMine(graph, cfg).mine()
+    return CatalogStore(root), results
+
+
+class TestRecords:
+    def test_every_stored_pattern_is_enumerated(self, populated_store):
+        store, results = populated_store
+        records = list(CatalogQuery(store).records())
+        expected = sum(len(r.patterns) for r in results.values())
+        assert len(records) == expected
+        assert all(r.num_vertices >= 1 and r.support >= 1 for r in records)
+        assert all(r.algorithm == "SpiderMine" for r in records)
+
+    def test_restrict_to_one_run(self, populated_store):
+        store, results = populated_store
+        query = CatalogQuery(store)
+        run_ids = {r["run_id"] for r in store.list_runs(kind="result")}
+        assert len(run_ids) == 2
+        for run_id in run_ids:
+            records = list(query.records(run_id=run_id))
+            assert records
+            assert {r.run_id for r in records} == {run_id}
+
+
+class TestTopK:
+    def test_by_vertices_is_sorted_and_capped(self, populated_store):
+        store, _ = populated_store
+        top = CatalogQuery(store).top_k(3, by="vertices")
+        assert len(top) == 3
+        sizes = [(r.num_vertices, r.num_edges) for r in top]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_by_support(self, populated_store):
+        store, _ = populated_store
+        top = CatalogQuery(store).top_k(5, by="support")
+        supports = [r.support for r in top]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_by_edges(self, populated_store):
+        store, _ = populated_store
+        top = CatalogQuery(store).top_k(5, by="edges")
+        edges = [r.num_edges for r in top]
+        assert edges == sorted(edges, reverse=True)
+
+    def test_deterministic_order(self, populated_store):
+        store, _ = populated_store
+        query = CatalogQuery(store)
+        first = [(r.run_id, r.index) for r in query.top_k(10)]
+        second = [(r.run_id, r.index) for r in query.top_k(10)]
+        assert first == second
+
+    def test_unknown_ranking_raises(self, populated_store):
+        store, _ = populated_store
+        with pytest.raises(ValueError):
+            CatalogQuery(store).top_k(3, by="colour")
+
+    def test_empty_store(self, tmp_path):
+        assert CatalogQuery(tmp_path / "empty").top_k(5) == []
+
+
+class TestLabelFilter:
+    def test_with_label_matches_metadata(self, populated_store):
+        store, results = populated_store
+        query = CatalogQuery(store)
+        some_label = next(iter(results[4].patterns[0].graph.labels().values()))
+        records = query.with_label(some_label)
+        assert records
+        assert all(some_label in r.labels for r in records)
+
+    def test_absent_label_matches_nothing(self, populated_store):
+        store, _ = populated_store
+        assert CatalogQuery(store).with_label("no-such-label") == []
+
+    def test_top_k_with_label_filter(self, populated_store):
+        store, results = populated_store
+        some_label = next(iter(results[4].patterns[0].graph.labels().values()))
+        top = CatalogQuery(store).top_k(2, label=some_label)
+        assert top
+        assert all(some_label in r.labels for r in top)
+
+
+class TestContainment:
+    def test_single_vertex_needle(self, populated_store):
+        store, results = populated_store
+        query = CatalogQuery(store)
+        pattern = results[4].patterns[0]
+        label = next(iter(pattern.graph.labels().values()))
+        needle = LabeledGraph()
+        needle.add_vertex(0, label)
+        matches = query.containing(needle)
+        assert matches
+        assert all(label in r.labels for r in matches)
+
+    def test_whole_pattern_contains_itself(self, populated_store):
+        store, results = populated_store
+        query = CatalogQuery(store)
+        pattern = results[4].patterns[0]
+        matches = query.containing(pattern)
+        assert any(
+            r.num_vertices == pattern.num_vertices
+            and r.num_edges == pattern.num_edges
+            for r in matches
+        )
+
+    def test_impossible_needle_matches_nothing(self, populated_store):
+        store, _ = populated_store
+        needle = LabeledGraph()
+        needle.add_vertex(0, "no-such-label")
+        needle.add_vertex(1, "no-such-label")
+        needle.add_edge(0, 1)
+        assert CatalogQuery(store).containing(needle) == []
+
+
+class TestLoadPattern:
+    def test_materialises_graph_and_embeddings(self, populated_store):
+        store, results = populated_store
+        query = CatalogQuery(store)
+        record = query.top_k(1)[0]
+        pattern = query.load_pattern(record)
+        assert pattern.num_vertices == record.num_vertices
+        assert pattern.num_edges == record.num_edges
+        assert pattern.support == record.support
+        assert pattern.embeddings

@@ -1,0 +1,215 @@
+"""The content-addressed catalog store (repro.catalog.store)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.catalog import CatalogError, CatalogStore
+from repro.catalog.formats import graph_digest
+from repro.graph import FrozenGraph, LabeledGraph, freeze
+
+
+def two_triangles() -> LabeledGraph:
+    graph = LabeledGraph()
+    for base in (0, 10):
+        graph.add_vertex(base + 0, "A")
+        graph.add_vertex(base + 1, "B")
+        graph.add_vertex(base + 2, "C")
+        graph.add_edge(base + 0, base + 1)
+        graph.add_edge(base + 1, base + 2)
+        graph.add_edge(base + 0, base + 2)
+    return graph
+
+
+class TestGraphObjects:
+    def test_put_get_round_trip_both_backends(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        graph = two_triangles()
+        digest = store.put_graph(graph)
+        assert digest == graph_digest(graph)
+        assert store.has_graph(digest)
+
+        as_dict = store.get_graph(digest, backend="dict")
+        as_csr = store.get_graph(digest, backend="csr")
+        assert isinstance(as_dict, LabeledGraph)
+        assert isinstance(as_csr, FrozenGraph)
+        assert as_dict == graph
+        assert as_csr == graph
+
+    def test_content_addressing_deduplicates(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        digest_a = store.put_graph(two_triangles())
+        digest_b = store.put_graph(freeze(two_triangles()))
+        assert digest_a == digest_b
+        assert len(list(store.graphs_dir.glob("*.json"))) == 1
+
+    def test_missing_graph_raises(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        with pytest.raises(CatalogError):
+            store.get_graph("0" * 64)
+
+    def test_pinned_flag_sticks(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        digest = store.put_graph(two_triangles(), pinned=True)
+        store.put_graph(two_triangles())  # unpinned re-put must not unpin
+        assert store.list_graphs()[digest]["pinned"] is True
+
+
+class TestRunObjects:
+    def test_put_get_list(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        payload = {"format": 1, "kind": "result", "result": {"patterns": []}}
+        meta = {"kind": "result", "graph_digest": "g" * 64, "num_patterns": 0}
+        run_id = store.put_run("r1", payload, meta)
+        assert run_id == "r1"
+        assert store.has_run("r1")
+        assert store.get_run_payload("r1") == payload
+        runs = store.list_runs()
+        assert len(runs) == 1
+        assert runs[0]["run_id"] == "r1"
+        assert runs[0]["kind"] == "result"
+        assert "created_at" in runs[0]
+
+    def test_list_filters_by_kind(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        store.put_run("a", {"x": 1}, {"kind": "result"})
+        store.put_run("b", {"x": 2}, {"kind": "spiders"})
+        assert [r["run_id"] for r in store.list_runs(kind="spiders")] == ["b"]
+
+    def test_missing_run_raises(self, tmp_path):
+        with pytest.raises(CatalogError):
+            CatalogStore(tmp_path / "cat").get_run_payload("nope")
+
+    def test_index_survives_reopen(self, tmp_path):
+        root = tmp_path / "cat"
+        CatalogStore(root).put_run("a", {"x": 1}, {"kind": "result"})
+        reopened = CatalogStore(root)
+        assert reopened.has_run("a")
+        assert reopened.list_runs()[0]["run_id"] == "a"
+
+    def test_corrupt_index_raises_catalog_error(self, tmp_path):
+        root = tmp_path / "cat"
+        store = CatalogStore(root)
+        store.put_run("a", {"x": 1}, {"kind": "result"})
+        store.index_path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CatalogError):
+            CatalogStore(root).list_runs()
+
+
+class TestGc:
+    def test_drops_index_entries_without_files(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        store.put_run("a", {"x": 1}, {"kind": "result"})
+        (store.runs_dir / "a.json").unlink()
+        removed = store.gc()
+        assert removed["runs"] == 1
+        assert store.list_runs() == []
+
+    def test_deletes_stray_files(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        store.put_run("a", {"x": 1}, {"kind": "result"})
+        stray = store.runs_dir / "deadbeef.json"
+        stray.write_text("{}", encoding="utf-8")
+        removed = store.gc()
+        assert removed["stray_files"] == 1
+        assert not stray.exists()
+        assert store.has_run("a")
+
+    def test_unreferenced_unpinned_graph_is_collected(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        unpinned = store.put_graph(two_triangles())
+        pinned_graph = LabeledGraph()
+        pinned_graph.add_vertex(0, "X")
+        pinned = store.put_graph(pinned_graph, pinned=True)
+
+        removed = store.gc()
+        assert removed["graphs"] == 1
+        assert not store.has_graph(unpinned)
+        assert store.has_graph(pinned)
+
+    def test_run_referenced_graph_survives(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        digest = store.put_graph(two_triangles())
+        store.put_run(
+            "a", {"x": 1}, {"kind": "result", "graph_digest": digest}
+        )
+        removed = store.gc()
+        assert removed["graphs"] == 0
+        assert store.has_graph(digest)
+
+    def test_recovers_valid_unindexed_run(self, tmp_path):
+        """A lost index update (concurrent writers) is repaired, not evicted."""
+        from repro import CachePolicy, SpiderMine, SpiderMineConfig
+
+        root = tmp_path / "cat"
+        graph = two_triangles()
+        config = SpiderMineConfig(
+            min_support=2, k=2, d_max=2, seed=0, cache=CachePolicy.at(root)
+        )
+        SpiderMine(graph, config).mine()
+        store = CatalogStore(root)
+        before = {run["run_id"]: run for run in store.list_runs()}
+        assert before
+
+        # Simulate the lost update: wipe the index, keep the objects.
+        store.index_path.write_text(
+            '{"format": 1, "graphs": {}, "runs": {}}', encoding="utf-8"
+        )
+        assert store.list_runs() == []
+
+        removed = store.gc()
+        assert removed["recovered"] >= len(before)
+        after = {run["run_id"]: run for run in store.list_runs()}
+        assert set(after) == set(before)
+        for run_id, meta in before.items():
+            rebuilt = dict(after[run_id])
+            original = dict(meta)
+            rebuilt.pop("created_at")
+            original.pop("created_at")
+            assert rebuilt == original
+
+    def test_misnamed_run_file_is_deleted_not_recovered(self, tmp_path):
+        """A run object whose filename is not its key's content address is a
+        stray: re-indexing it would poison lookups of the squatted id."""
+        from repro import CachePolicy, SpiderMine, SpiderMineConfig
+
+        root = tmp_path / "cat"
+        config = SpiderMineConfig(
+            min_support=2, k=2, d_max=2, seed=0, cache=CachePolicy.at(root)
+        )
+        SpiderMine(two_triangles(), config).mine()
+        store = CatalogStore(root)
+        run_id = store.list_runs()[0]["run_id"]
+
+        misnamed = store.runs_dir / f"{'f' * 64}.json"
+        (store.runs_dir / f"{run_id}.json").rename(misnamed)
+        store.index_path.write_text(
+            '{"format": 1, "graphs": {}, "runs": {}}', encoding="utf-8"
+        )
+        removed = store.gc()
+        assert not misnamed.exists()
+        assert removed["stray_files"] >= 1
+        assert all(run["run_id"] != "f" * 64 for run in store.list_runs())
+
+    def test_recovered_graph_comes_back_unpinned(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        digest = store.put_graph(two_triangles(), pinned=True)
+        store.index_path.write_text(
+            '{"format": 1, "graphs": {}, "runs": {}}', encoding="utf-8"
+        )
+        removed = store.gc()
+        # Recovered (unpinned), then collected in the same pass: no run
+        # references it, so the orphaned snapshot ages out.
+        assert removed["recovered"] == 1
+        assert removed["graphs"] == 1
+        assert not store.has_graph(digest)
+
+    def test_index_files_are_sorted_json(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        store.put_run("b", {"x": 1}, {"kind": "result"})
+        store.put_run("a", {"x": 2}, {"kind": "spiders"})
+        text = store.index_path.read_text(encoding="utf-8")
+        data = json.loads(text)
+        assert list(data["runs"]) == sorted(data["runs"])

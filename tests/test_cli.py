@@ -175,3 +175,131 @@ class TestCompareCommand:
         assert "SpiderMine" in out
         assert "SUBDUE" in out
         assert "SEuS" in out
+
+
+class TestVersionFlag:
+    def test_version_reports_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"spidermine-repro {repro.__version__}"
+
+    def test_dunder_version_matches_installed_metadata(self):
+        """importlib.metadata is the source of truth when the dist exists."""
+        from importlib import metadata
+
+        import repro
+
+        try:
+            expected = metadata.version("spidermine-repro")
+        except metadata.PackageNotFoundError:
+            pytest.skip("package not installed; __version__ falls back to pyproject")
+        assert repro.__version__ == expected
+
+
+class TestCacheOption:
+    def test_mine_cache_miss_then_hit(self, tiny_graph_file, tmp_path, capsys):
+        store = tmp_path / "catalog"
+        argv = ["mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                "--dmax", "2", "--cache", str(store)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache: stored" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache: hit" in second
+
+        # Identical pattern listing either way.
+        listing = lambda text: [l for l in text.splitlines() if l.startswith("  #")]  # noqa: E731
+        assert listing(first) == listing(second)
+        assert listing(first)
+
+    def test_cache_mode_readonly_never_writes(self, tiny_graph_file, tmp_path, capsys):
+        store = tmp_path / "catalog"
+        code = main(["mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                     "--dmax", "2", "--cache", str(store), "--cache-mode", "readonly"])
+        assert code == 0
+        assert "cache: miss" in capsys.readouterr().out
+        assert not (store / "objects").exists()
+
+
+class TestCatalogCommands:
+    def test_ingest_list_query_gc_flow(self, tiny_graph_file, tmp_path, capsys):
+        store = str(tmp_path / "catalog")
+
+        assert main(["catalog", "ingest", store, str(tiny_graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "graph digest:" in out
+
+        assert main(["mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                     "--dmax", "2", "--cache", store]) == 0
+        capsys.readouterr()
+
+        assert main(["catalog", "list", store]) == 0
+        out = capsys.readouterr().out
+        assert "[pinned]" in out
+        assert "SpiderMine" in out
+
+        assert main(["catalog", "query", store, "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out
+
+        assert main(["catalog", "query", store, "--top", "2", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records and records[0]["num_vertices"] >= 2
+
+        assert main(["catalog", "gc", store]) == 0
+        out = capsys.readouterr().out
+        assert "gc: removed" in out
+
+    def test_query_contains(self, tiny_graph_file, tmp_path, capsys):
+        store = str(tmp_path / "catalog")
+        assert main(["mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                     "--dmax", "2", "--cache", store]) == 0
+        capsys.readouterr()
+        # The mined triangle patterns contain an A-B edge.
+        needle = LabeledGraph()
+        needle.add_vertex(0, "A")
+        needle.add_vertex(1, "B")
+        needle.add_edge(0, 1)
+        needle_file = tmp_path / "needle.lg"
+        graph_io.write_lg([needle], needle_file)
+        assert main(["catalog", "query", store, "--contains", str(needle_file)]) == 0
+        out = capsys.readouterr().out
+        assert "no matching patterns" not in out
+        assert "#1:" in out
+
+    def test_query_empty_store(self, tmp_path, capsys):
+        assert main(["catalog", "query", str(tmp_path / "empty"), "--top", "3"]) == 0
+        assert "no matching patterns" in capsys.readouterr().out
+
+    def test_query_contains_composes_with_label(self, tiny_graph_file, tmp_path, capsys):
+        store = str(tmp_path / "catalog")
+        assert main(["mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                     "--dmax", "2", "--cache", store]) == 0
+        capsys.readouterr()
+        needle = LabeledGraph()
+        needle.add_vertex(0, "A")
+        needle_file = tmp_path / "needle.lg"
+        graph_io.write_lg([needle], needle_file)
+        # Containment matches exist, but no stored pattern carries label Z.
+        assert main(["catalog", "query", store, "--contains", str(needle_file),
+                     "--label", "Z"]) == 0
+        assert "no matching patterns" in capsys.readouterr().out
+
+    def test_query_top_zero_returns_nothing(self, tiny_graph_file, tmp_path, capsys):
+        store = str(tmp_path / "catalog")
+        assert main(["mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                     "--dmax", "2", "--cache", store]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "query", store, "--top", "0"]) == 0
+        assert "no matching patterns" in capsys.readouterr().out
+
+    def test_query_negative_top_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["catalog", "query", str(tmp_path / "cat"), "--top", "-1"])
+        assert "--top must be non-negative" in str(excinfo.value)

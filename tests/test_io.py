@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graph import GraphError, LabeledGraph, are_isomorphic, erdos_renyi_graph
+from repro.graph import (
+    FrozenGraph,
+    GraphError,
+    LabeledGraph,
+    are_isomorphic,
+    erdos_renyi_graph,
+    freeze,
+)
 from repro.graph.io import (
     graph_from_dict,
     graph_to_dict,
@@ -101,3 +108,103 @@ class TestJsonFormat:
         graph.add_edge(-1, 2)
         rebuilt = graph_from_dict(graph_to_dict(graph))
         assert rebuilt.has_edge(-1, 2)
+
+    def test_emission_is_canonical(self):
+        """Backend and insertion order never change the serialised bytes."""
+        graph = erdos_renyi_graph(30, 2.0, 5, seed=3)
+        reordered = LabeledGraph()
+        for v in sorted(graph.vertices(), key=repr, reverse=True):
+            reordered.add_vertex(v, graph.label(v))
+        for u, v in sorted(graph.edges(), key=repr, reverse=True):
+            reordered.add_edge(u, v)
+        payloads = {
+            str(graph_to_dict(g)) for g in (graph, reordered, freeze(graph))
+        }
+        assert len(payloads) == 1
+
+
+def graph_with_isolated_vertices() -> LabeledGraph:
+    graph = LabeledGraph()
+    graph.add_vertex(0, "A")
+    graph.add_vertex(1, "B")
+    graph.add_vertex(2, "A")   # isolated
+    graph.add_vertex(3, "C")   # isolated
+    graph.add_edge(0, 1)
+    return graph
+
+
+class TestBackendRoundTrips:
+    """dict ↔ csr ↔ disk ↔ back, for both formats (catalog satellite)."""
+
+    def test_full_cycle_json_preserves_identity(self, tmp_path):
+        """dict → disk → csr → disk → dict, vertex identities intact."""
+        original = erdos_renyi_graph(40, 2.0, 6, seed=2)
+        frozen = freeze(original)
+        path = tmp_path / "g.json"
+
+        write_json([original], path)
+        from_disk_frozen = read_json(path, frozen=True)[0]
+        assert isinstance(from_disk_frozen, FrozenGraph)
+        assert from_disk_frozen == original
+
+        write_json([from_disk_frozen], path)
+        from_disk_mutable = read_json(path)[0]
+        assert isinstance(from_disk_mutable, LabeledGraph)
+        assert from_disk_mutable == original
+        assert from_disk_mutable == frozen
+
+    def test_full_cycle_lg_preserves_structure(self, tmp_path):
+        """The .lg format renumbers vertices but keeps the labeled structure."""
+        original = erdos_renyi_graph(40, 2.0, 6, seed=2)
+        path = tmp_path / "g.lg"
+
+        write_lg([original], path)
+        from_disk_frozen = read_lg(path, frozen=True)[0]
+        assert isinstance(from_disk_frozen, FrozenGraph)
+        assert from_disk_frozen.num_edges == original.num_edges
+        assert from_disk_frozen.label_counts() == original.label_counts()
+
+        write_lg([from_disk_frozen], path)
+        from_disk_mutable = read_lg(path)[0]
+        assert isinstance(from_disk_mutable, LabeledGraph)
+        assert are_isomorphic(from_disk_mutable, original)
+        assert are_isomorphic(from_disk_mutable, from_disk_frozen.thaw())
+
+    @pytest.mark.parametrize("via", ["lg", "json"])  # ids 0..3 are lg-stable
+    def test_isolated_vertices_survive(self, tmp_path, via):
+        graph = graph_with_isolated_vertices()
+        path = tmp_path / f"iso.{via}"
+        writer, reader = (write_lg, read_lg) if via == "lg" else (write_json, read_json)
+        writer([graph], path)
+        for frozen in (False, True):
+            rebuilt = reader(path, frozen=frozen)[0]
+            assert rebuilt.num_vertices == 4
+            assert rebuilt.num_edges == 1
+            assert rebuilt.label_counts() == graph.label_counts()
+            assert rebuilt.degree(2) == 0 and rebuilt.degree(3) == 0
+
+    def test_label_interning_after_disk_round_trip(self, tmp_path):
+        """Labels shared by many vertices intern to one table entry on freeze."""
+        graph = LabeledGraph()
+        for i in range(10):
+            graph.add_vertex(i, "shared-label" if i % 2 == 0 else f"own-{i}")
+        for i in range(9):
+            graph.add_edge(i, i + 1)
+        path = tmp_path / "interned.json"
+        write_json([graph], path)
+        frozen = read_json(path, frozen=True)[0]
+        assert isinstance(frozen, FrozenGraph)
+        # 1 shared + 5 distinct own-* labels
+        assert len(frozen.label_table) == 6
+        assert frozen.label_counts()["shared-label"] == 5
+        assert frozen.vertices_with_label("shared-label") == frozenset({0, 2, 4, 6, 8})
+
+    def test_frozen_round_trip_preserves_csr_iteration(self, tmp_path):
+        """The reloaded snapshot walks neighbors identically to the original."""
+        original = freeze(erdos_renyi_graph(30, 2.5, 4, seed=9))
+        path = tmp_path / "csr.json"
+        write_json([original], path)
+        reloaded = read_json(path, frozen=True)[0]
+        for vertex in original.vertices():
+            assert list(reloaded.neighbors(vertex)) == list(original.neighbors(vertex))
+            assert reloaded.label(vertex) == original.label(vertex)
