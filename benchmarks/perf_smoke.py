@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Perf smoke test: graph backends, the parallel engine and the catalog.
+"""Perf smoke test: graph backends, the parallel engine, the catalog and the
+overlap engine.
 
-Three measurement suites:
+Four measurement suites:
 
 * **backend** — dict vs csr on (a) a BFS-distance sweep from a fixed sample
   of sources and (b) a light Stage-I spider-mining pass over one
@@ -14,6 +15,15 @@ Three measurement suites:
   vs warm cache hit of the same key, plus catalog query latency; written to
   ``BENCH_catalog.json``.  The warm hit must re-serve a result with the
   *same digest* as the cold mine — asserted before timing is trusted.
+* **overlap** — inverted-index conflict-graph construction
+  (``repro.patterns.overlap.EmbeddingIndex``) vs the O(n²) all-pairs
+  reference on a dense label class of a two-label random graph; written to
+  ``BENCH_overlap_index.json``.  Wall-clock on a loaded runner is noisy, so
+  the JSON also records the *asymptotic* counters: all-pairs intersection
+  tests vs posting pair touches, i.e. the pair tests the index provably never
+  performs.  The two constructions must produce identical conflict graphs —
+  the suite asserts digest parity (``conflict_digest``) and prints
+  ``overlap parity: ok`` for the CI gate to grep.
 
 Run:  python benchmarks/perf_smoke.py             (full, ~minutes)
       python benchmarks/perf_smoke.py --quick     (CI smoke, small graph)
@@ -44,7 +54,12 @@ if str(SRC) not in sys.path:
 from repro import CachePolicy, SpiderMine, SpiderMineConfig  # noqa: E402
 from repro.catalog import CatalogQuery  # noqa: E402
 from repro.core import mine_spiders  # noqa: E402
-from repro.graph import barabasi_albert_graph, freeze, synthetic_single_graph  # noqa: E402
+from repro.graph import (  # noqa: E402
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    freeze,
+    synthetic_single_graph,
+)
 from repro.parallel import ExecutionPolicy  # noqa: E402
 
 EDGES_PER_VERTEX = 2
@@ -53,6 +68,17 @@ SEED = 7
 BACKEND_RESULT_PATH = REPO_ROOT / "BENCH_graph_backend.json"
 PARALLEL_RESULT_PATH = REPO_ROOT / "BENCH_parallel_mining.json"
 CATALOG_RESULT_PATH = REPO_ROOT / "BENCH_catalog.json"
+OVERLAP_RESULT_PATH = REPO_ROOT / "BENCH_overlap_index.json"
+
+#: profile -> (graph vertices, embedding cap) for the overlap suite; two
+#: labels make one label class dense enough that a path pattern has
+#: thousands of embeddings, while the flat Erdős–Rényi degree distribution
+#: keeps their overlap realistic (each embedding conflicts with a local
+#: handful, not with everything through one hub).
+OVERLAP_PROFILES = {
+    "full": (3000, 2000),
+    "quick": (800, 600),
+}
 
 #: profile -> (num_vertices, num_labels, large patterns, mining config kwargs)
 CATALOG_PROFILES = {
@@ -289,6 +315,95 @@ def run_catalog_suite(profile):
     )
 
 
+def run_overlap_suite(profile):
+    """Index-built vs all-pairs conflict graphs on a dense label class."""
+    from repro.graph import LabeledGraph
+    from repro.patterns import EmbeddingIndex, Pattern, conflict_digest
+
+    num_vertices, embedding_cap = OVERLAP_PROFILES[profile]
+    print(
+        f"overlap suite: |V|={num_vertices} two-label ER graph, "
+        f"up to {embedding_cap} embeddings ...",
+        flush=True,
+    )
+    graph = erdos_renyi_graph(num_vertices, 4.0, 2, seed=SEED)
+    # A 2-edge path inside the dense label class: its embeddings overlap on
+    # shared middle/end vertices AND on shared data edges, so both conflict
+    # notions are exercised non-trivially.
+    pattern_graph = LabeledGraph()
+    label = graph.label(0)  # the generator's labels cycle, so label 0 is dense
+    for i in range(3):
+        pattern_graph.add_vertex(i, label)
+    pattern_graph.add_edge(0, 1)
+    pattern_graph.add_edge(1, 2)
+    pattern = Pattern(graph=pattern_graph)
+    pattern.recompute_embeddings(graph, limit=embedding_cap)
+    embeddings = pattern.embeddings
+    print(f"dense class: {len(embeddings)} distinct-image embeddings", flush=True)
+
+    results = {}
+    for name, edge_based in (("vertex_conflict", False), ("edge_conflict", True)):
+        index = EmbeddingIndex.from_embeddings(embeddings, pattern.graph)
+        _ = index.images(edge_based)  # image memoisation outside the clock
+        start = time.perf_counter()
+        fast = index.conflict_graph(edge_based=edge_based)
+        index_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        reference = index.conflict_graph_all_pairs(edge_based=edge_based)
+        all_pairs_seconds = time.perf_counter() - start
+        fast_digest = conflict_digest(fast)
+        assert fast_digest == conflict_digest(reference), (
+            f"overlap parity FAILED ({name}): index-built conflict graph "
+            "diverged from the all-pairs reference"
+        )
+        stats = index.pair_stats(edge_based=edge_based, conflict=fast)
+        results[name] = {
+            "index_seconds": round(index_seconds, 4),
+            "all_pairs_seconds": round(all_pairs_seconds, 4),
+            "speedup": round(all_pairs_seconds / max(index_seconds, 1e-9), 2),
+            "parity_digest": fast_digest,
+            **stats,
+        }
+        print(
+            f"{name}: index {index_seconds:.3f}s vs all-pairs "
+            f"{all_pairs_seconds:.3f}s ({results[name]['speedup']}x); "
+            f"{stats['pair_tests_avoided']} of {stats['all_pairs_tests']} "
+            f"pair tests avoided",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "overlap_index_perf_smoke",
+        "profile": profile,
+        "graph": {
+            "model": "erdos_renyi",
+            "num_vertices": num_vertices,
+            "num_edges": graph.num_edges,
+            "average_degree": 4.0,
+            "num_labels": 2,
+            "seed": SEED,
+        },
+        "pattern": "two-edge path in the dense label class",
+        "num_embeddings": len(embeddings),
+        **results,
+        "note": (
+            "index-built vs all-pairs conflict-graph construction over the "
+            "same memoised images, digest-verified identical; on a "
+            "single-CPU shared host the asymptotic counters (pair_tests_"
+            "avoided = all-pairs intersection tests the inverted index never "
+            "performs) are the stable signal, wall-clock is corroboration"
+        ),
+    }
+    OVERLAP_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # Reached only when every per-notion digest assert above passed.
+    print(
+        f"overlap parity: ok "
+        f"(vertex digest {results['vertex_conflict']['parity_digest']}, "
+        f"edge digest {results['edge_conflict']['parity_digest']}) — "
+        f"written to {OVERLAP_RESULT_PATH.name}"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -311,6 +426,11 @@ def main(argv=None) -> int:
         "--skip-catalog",
         action="store_true",
         help="skip the catalog suite (BENCH_catalog.json untouched)",
+    )
+    parser.add_argument(
+        "--skip-overlap",
+        action="store_true",
+        help="skip the overlap suite (BENCH_overlap_index.json untouched)",
     )
     args = parser.parse_args(argv)
     profile = "quick" if args.quick else "full"
@@ -344,6 +464,8 @@ def main(argv=None) -> int:
         run_parallel_suite(profile, frozen, args.workers, graph_meta)
     if not args.skip_catalog:
         run_catalog_suite(profile)
+    if not args.skip_overlap:
+        run_overlap_suite(profile)
     return 0
 
 

@@ -28,14 +28,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..graph.algorithms import (
-    exact_maximum_independent_set,
-    greedy_maximum_independent_set,
-)
 from ..graph.canonical import canonical_code
-from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.labeled_graph import LabeledGraph, Vertex, normalise_edge
 from ..graph.view import GraphView
 from ..patterns.embedding import Embedding
+from ..patterns.overlap import (
+    DEFAULT_EXACT_LIMIT,
+    EmbeddingIndex,
+    independent_set_size,
+)
 from ..patterns.pattern import Pattern
 from ..patterns.spider import Spider
 from ..patterns.support import SupportMeasure
@@ -43,9 +44,8 @@ from .config import SpiderMineConfig
 
 EdgeTuple = Tuple[Vertex, Vertex]
 
-
-def _normalise_edge(u: Vertex, v: Vertex) -> EdgeTuple:
-    return (u, v) if repr(u) <= repr(v) else (v, u)
+# Shared with Embedding.edge_image — one endpoint ordering, it can never drift.
+_normalise_edge = normalise_edge
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,14 @@ class Occurrence:
     def union(self, other: "Occurrence") -> "Occurrence":
         return Occurrence(vertices=self.vertices | other.vertices, edges=self.edges | other.edges)
 
-    def overlaps(self, other: "Occurrence") -> bool:
+    def overlaps(self, other: "Occurrence", edge_based: bool = False) -> bool:
+        """Pairwise conflict test under the requested overlap notion.
+
+        Spot checks only — batch overlap scans go through the shared
+        :class:`~repro.patterns.overlap.EmbeddingIndex` instead.
+        """
+        if edge_based:
+            return bool(self.edges & other.edges)
         return bool(self.vertices & other.vertices)
 
     @property
@@ -124,28 +131,33 @@ def occurrence_subgraph(data_graph: GraphView, occurrence: Occurrence) -> Labele
 def occurrence_support(
     occurrences: Sequence[Occurrence],
     measure: SupportMeasure,
-    exact_limit: int = 18,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
 ) -> int:
-    """Support of a pattern given its distinct occurrences."""
-    distinct: Dict[FrozenSet[Vertex], Occurrence] = {}
+    """Support of a pattern given its distinct occurrences.
+
+    Deduplication follows the measure's conflict notion: vertex sets for the
+    vertex-overlap measures, edge sets for the edge-disjoint measure (two
+    occurrences on the same vertices through different data edges are distinct
+    edge-disjoint witnesses; an edgeless occurrence dedupes on its vertices).
+    The conflict graph comes from the shared inverted-index overlap engine.
+    """
+    edge_based = measure is SupportMeasure.EDGE_DISJOINT
+    seen: Set[object] = set()
+    items: List[Occurrence] = []
     for occ in occurrences:
-        distinct.setdefault(occ.vertices, occ)
-    items = list(distinct.values())
+        if edge_based:
+            key = ("e", occ.edges) if occ.edges else ("v", occ.vertices)
+        else:
+            key = occ.vertices
+        if key in seen:
+            continue
+        seen.add(key)
+        items.append(occ)
     if measure is SupportMeasure.EMBEDDING_IMAGES:
         return len(items)
-    conflict: Dict[int, Set[int]] = {i: set() for i in range(len(items))}
-    for i in range(len(items)):
-        for j in range(i + 1, len(items)):
-            if measure is SupportMeasure.HARMFUL_OVERLAP:
-                clash = bool(items[i].vertices & items[j].vertices)
-            else:  # EDGE_DISJOINT
-                clash = bool(items[i].edges & items[j].edges)
-            if clash:
-                conflict[i].add(j)
-                conflict[j].add(i)
-    if len(conflict) <= exact_limit:
-        return len(exact_maximum_independent_set(conflict, limit=exact_limit))
-    return len(greedy_maximum_independent_set(conflict))
+    index = EmbeddingIndex.from_occurrences(items)
+    conflict = index.conflict_graph(edge_based=edge_based)
+    return independent_set_size(conflict, exact_limit)
 
 
 def occurrences_to_pattern(data_graph: GraphView, occurrences: Sequence[Occurrence]) -> Pattern:
@@ -383,26 +395,27 @@ class GrowthEngine:
         ``entries`` with ``merged=True``; the inputs are also flagged so the
         Stage-II pruning keeps them.
         """
-        # Inverted index over the vertices of current occurrences: each data
-        # vertex maps to the (entry code, occurrence) pairs that cover it.
-        # Merge candidates are discovered per shared vertex, so only occurrence
-        # pairs that actually overlap are ever examined, and hard caps bound
-        # the work on dense, label-poor graphs.
+        # The shared overlap engine's inverted vertex→ids map: merge candidates
+        # are discovered per shared data vertex, so only occurrence pairs that
+        # actually overlap are ever examined, and hard caps bound the work on
+        # dense, label-poor graphs.
         occurrences_per_entry_indexed = 30
         pairs_per_vertex_cap = 12
         merge_unions_cap = 2000
-        vertex_index: Dict[Vertex, List[Tuple[str, Occurrence]]] = {}
+        indexed: List[Tuple[str, Occurrence]] = []
         for code, entry in entries.items():
             for occ in entry.occurrences[:occurrences_per_entry_indexed]:
-                for v in occ.vertices:
-                    vertex_index.setdefault(v, []).append((code, occ))
+                indexed.append((code, occ))
+        vertex_index = EmbeddingIndex.from_occurrences(
+            occ for _, occ in indexed
+        ).vertex_map
 
         merged_groups: Dict[str, List[Occurrence]] = {}
         merged_meta: Dict[str, Dict[str, object]] = {}
         unions_done = 0
         seen_union_keys: Set[Tuple[FrozenSet[Vertex], FrozenSet[EdgeTuple]]] = set()
         for vertex in sorted(vertex_index, key=repr):
-            covering = vertex_index[vertex]
+            covering = [indexed[i] for i in vertex_index[vertex]]
             if len(covering) < 2 or unions_done >= merge_unions_cap:
                 continue
             pairs_here = 0

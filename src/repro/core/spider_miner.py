@@ -37,7 +37,7 @@ from ..graph.labeled_graph import LabeledGraph, Vertex
 from ..graph.view import GraphView
 from ..patterns.embedding import Embedding
 from ..patterns.spider import Spider, head_distinguished_code
-from ..patterns.support import SupportMeasure, compute_support
+from ..patterns.support import SupportMeasure, is_frequent
 from .config import SpiderMineConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -356,7 +356,12 @@ class SpiderMiner:
                 seen.add(key)
 
     def _to_spider(self, candidate: _Candidate) -> Optional[Spider]:
-        """Build a :class:`Spider` if the candidate is frequent, else ``None``."""
+        """Build a :class:`Spider` if the candidate is frequent, else ``None``.
+
+        Frequency goes through the overlap engine's ``is_frequent``: its raw
+        count and distinct-image upper bounds skip the MIS entirely for the
+        many candidates whose embedding lists already fall short.
+        """
         embeddings = [Embedding.from_dict(m) for m in candidate.embeddings]
         spider = Spider(
             graph=candidate.graph.copy(),
@@ -364,8 +369,9 @@ class SpiderMiner:
             head=_HEAD,
             radius=self.config.radius,
         )
-        support = compute_support(spider, measure=self.config.support_measure)
-        if support < self.config.min_support:
+        if not is_frequent(
+            spider, self.config.min_support, measure=self.config.support_measure
+        ):
             return None
         return spider
 

@@ -13,13 +13,14 @@ Public surface:
 * plain-text / JSON I/O.
 """
 
-from .labeled_graph import GraphError, LabeledGraph, graph_from_edges
+from .labeled_graph import GraphError, LabeledGraph, graph_from_edges, normalise_edge
 from .view import GraphView
 from .frozen import GRAPH_BACKENDS, FrozenGraph, coerce_backend, freeze, thaw
 from .algorithms import (
     bfs_distances,
     center_vertices,
     connected_components,
+    degeneracy_ordered_independent_set,
     degree_histogram,
     diameter,
     eccentricity,
@@ -61,6 +62,7 @@ __all__ = [
     "GraphError",
     "LabeledGraph",
     "graph_from_edges",
+    "normalise_edge",
     "GraphView",
     "FrozenGraph",
     "GRAPH_BACKENDS",
@@ -70,6 +72,7 @@ __all__ = [
     "bfs_distances",
     "center_vertices",
     "connected_components",
+    "degeneracy_ordered_independent_set",
     "degree_histogram",
     "diameter",
     "eccentricity",

@@ -258,6 +258,44 @@ def greedy_maximum_independent_set(
     return chosen
 
 
+def degeneracy_ordered_independent_set(
+    adjacency: Dict[Hashable, Set[Hashable]],
+) -> Set[Hashable]:
+    """Greedy independent set along the degeneracy order of the conflict graph.
+
+    Repeatedly selects the vertex of minimum *current* degree (ties broken by
+    ``repr``), adds it to the set and deletes its closed neighbourhood,
+    updating the remaining degrees — i.e. the selection follows the degeneracy
+    ordering rather than the static initial degrees used by
+    :func:`greedy_maximum_independent_set`.  The result is still a lower bound
+    on the true MIS (safe for anti-monotone support pruning) but a tighter
+    one: on a d-degenerate conflict graph it is guaranteed to pick at least
+    ``n / (d + 1)`` vertices.  Fully deterministic for a fixed adjacency dict.
+    """
+    degree = {v: len(n) for v, n in adjacency.items()}
+    remaining = {v: set(n) for v, n in adjacency.items()}
+    heap = [(d, repr(v), v) for v, d in degree.items()]
+    heapq.heapify(heap)
+    chosen: Set[Hashable] = set()
+    removed: Set[Hashable] = set()
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in removed or d != degree[v]:
+            continue  # deleted, or a stale entry (a fresher one is queued)
+        chosen.add(v)
+        removed.add(v)
+        for u in remaining[v]:
+            if u in removed:
+                continue
+            removed.add(u)
+            for w in remaining[u]:
+                if w not in removed:
+                    remaining[w].discard(u)
+                    degree[w] -= 1
+                    heapq.heappush(heap, (degree[w], repr(w), w))
+    return chosen
+
+
 def exact_maximum_independent_set(
     adjacency: Dict[Hashable, Set[Hashable]],
     limit: int = 20,

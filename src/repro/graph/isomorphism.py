@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
-from .labeled_graph import LabeledGraph, Vertex
+from .labeled_graph import LabeledGraph, Vertex, normalise_edge
 from .view import GraphView
 
 Mapping = Dict[Vertex, Vertex]
@@ -251,10 +251,6 @@ def embedding_edge_image(
     pattern: LabeledGraph, mapping: Mapping
 ) -> FrozenSet[Tuple[Vertex, Vertex]]:
     """The set of data-graph edges an embedding covers (normalised by repr order)."""
-    edges = set()
-    for u, v in pattern.edges():
-        a, b = mapping[u], mapping[v]
-        if repr(b) < repr(a):
-            a, b = b, a
-        edges.add((a, b))
-    return frozenset(edges)
+    return frozenset(
+        normalise_edge(mapping[u], mapping[v]) for u, v in pattern.edges()
+    )

@@ -21,6 +21,16 @@ Label = Hashable
 Edge = Tuple[Vertex, Vertex]
 
 
+def normalise_edge(u: Vertex, v: Vertex) -> Edge:
+    """Canonical endpoint order for an undirected edge: repr-lower first.
+
+    Every place that stores or compares concrete data-graph edges — embedding
+    edge images, growth occurrences, canonical graph emission — must use this
+    one helper so the orderings can never drift apart.
+    """
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
 class GraphError(ValueError):
     """Raised for structurally invalid graph operations."""
 
@@ -45,6 +55,7 @@ class LabeledGraph:
         "_label_set_cache",
         "_serial",
         "_next_serial",
+        "_mutations",
     )
 
     def __init__(self, directed: bool = False) -> None:
@@ -64,6 +75,16 @@ class LabeledGraph:
         # insertion order for a small selection without scanning the graph.
         self._serial: Dict[Vertex, int] = {}
         self._next_serial = 0
+        # Monotonic structural-mutation counter: external memoisers (e.g.
+        # Embedding.edge_image) use (graph identity, mutation_count) as a
+        # cache token that every add/remove invalidates — including rewrites
+        # that leave num_vertices/num_edges unchanged.
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Bumped by every structural mutation; a token for external caches."""
+        return self._mutations
 
     # ------------------------------------------------------------------ #
     # construction
@@ -83,6 +104,7 @@ class LabeledGraph:
         self._label_set_cache.pop(label, None)
         self._serial[vertex] = self._next_serial
         self._next_serial += 1
+        self._mutations += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``{u, v}``.  Both endpoints must exist."""
@@ -98,6 +120,7 @@ class LabeledGraph:
         self._num_edges += 1
         self._neighbor_cache.pop(u, None)
         self._neighbor_cache.pop(v, None)
+        self._mutations += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``{u, v}`` if present; raise if absent."""
@@ -108,6 +131,7 @@ class LabeledGraph:
         self._num_edges -= 1
         self._neighbor_cache.pop(u, None)
         self._neighbor_cache.pop(v, None)
+        self._mutations += 1
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all incident edges in O(deg) time.
@@ -130,6 +154,7 @@ class LabeledGraph:
         if not self._label_index[label]:
             del self._label_index[label]
         del self._serial[vertex]
+        self._mutations += 1
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -245,6 +270,7 @@ class LabeledGraph:
         other._label_set_cache = dict(self._label_set_cache)
         other._serial = dict(self._serial)
         other._next_serial = self._next_serial
+        other._mutations = self._mutations
         return other
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "LabeledGraph":

@@ -1,6 +1,14 @@
 """Pattern layer: patterns, embeddings, support measures, spiders and the lattice helpers."""
 
 from .embedding import Embedding
+from .overlap import (
+    DEFAULT_EXACT_LIMIT,
+    EmbeddingIndex,
+    conflict_digest,
+    distinct_indices,
+    independent_set_size,
+    max_independent_set,
+)
 from .pattern import Pattern, deduplicate_patterns, sort_patterns_by_size, top_k_patterns
 from .support import (
     SupportMeasure,
@@ -29,6 +37,12 @@ from .lattice import (
 
 __all__ = [
     "Embedding",
+    "DEFAULT_EXACT_LIMIT",
+    "EmbeddingIndex",
+    "conflict_digest",
+    "distinct_indices",
+    "independent_set_size",
+    "max_independent_set",
     "Pattern",
     "deduplicate_patterns",
     "sort_patterns_by_size",

@@ -5,6 +5,15 @@ vertices to the data graph's vertices that maps pattern edges onto data-graph
 edges.  The single-graph setting makes embeddings first-class: support is
 computed from how embeddings overlap, and SpiderMine grows patterns by
 extending their embeddings.
+
+Embeddings sit on the innermost loop of every support computation, so lookups
+and images are engineered accordingly: the pattern→data mapping is backed by
+a lazily built dict (O(1) ``__getitem__``), and both the vertex image and the
+edge image are memoised on the instance — the overlap engine
+(:mod:`repro.patterns.overlap`) reads them once per conflict-graph build and
+every later reader gets the cached frozenset.  The caches are derived state:
+they are excluded from equality, hashing and pickling (workers re-derive them
+on first use).
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
-from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.labeled_graph import LabeledGraph, Vertex, normalise_edge
 from ..graph.view import GraphView
 
 
@@ -30,11 +39,16 @@ class Embedding:
     def to_dict(self) -> Dict[Vertex, Vertex]:
         return dict(self.mapping)
 
+    def _lookup(self) -> Dict[Vertex, Vertex]:
+        """The mapping as a dict, built once per instance."""
+        lookup = self.__dict__.get("_lookup_cache")
+        if lookup is None:
+            lookup = dict(self.mapping)
+            object.__setattr__(self, "_lookup_cache", lookup)
+        return lookup
+
     def __getitem__(self, pattern_vertex: Vertex) -> Vertex:
-        for p, g in self.mapping:
-            if p == pattern_vertex:
-                return g
-        raise KeyError(pattern_vertex)
+        return self._lookup()[pattern_vertex]
 
     def __len__(self) -> int:
         return len(self.mapping)
@@ -42,21 +56,43 @@ class Embedding:
     def __iter__(self):
         return iter(self.mapping)
 
+    def __getstate__(self):
+        # The mapping tuple is the whole identity; lookup/image caches are
+        # derived state and would only bloat pickles (the edge-image cache
+        # would even drag its pattern graph across process boundaries).
+        return {"mapping": self.mapping}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "mapping", state["mapping"])
+
     @property
     def image(self) -> FrozenSet[Vertex]:
-        """The data-graph vertices this embedding covers."""
-        return frozenset(g for _, g in self.mapping)
+        """The data-graph vertices this embedding covers (memoised)."""
+        image = self.__dict__.get("_image_cache")
+        if image is None:
+            image = frozenset(g for _, g in self.mapping)
+            object.__setattr__(self, "_image_cache", image)
+        return image
 
     def edge_image(self, pattern: LabeledGraph) -> FrozenSet[Tuple[Vertex, Vertex]]:
-        """The data-graph edges this embedding covers (normalised endpoint order)."""
-        lookup = dict(self.mapping)
-        edges = set()
-        for u, v in pattern.edges():
-            a, b = lookup[u], lookup[v]
-            if repr(b) < repr(a):
-                a, b = b, a
-            edges.add((a, b))
-        return frozenset(edges)
+        """The data-graph edges this embedding covers (normalised endpoint order).
+
+        Memoised per pattern object: the cache pins the pattern graph it was
+        computed against together with its mutation counter, so *any*
+        in-place structural change — including edge rewrites that leave the
+        edge count unchanged — invalidates it.  Reused by every
+        support/overlap computation over the same pattern.
+        """
+        token = getattr(pattern, "mutation_count", None)
+        cached = self.__dict__.get("_edge_image_cache")
+        if cached is not None and cached[0] is pattern and cached[1] == token:
+            return cached[2]
+        lookup = self._lookup()
+        edges = frozenset(
+            normalise_edge(lookup[u], lookup[v]) for u, v in pattern.edges()
+        )
+        object.__setattr__(self, "_edge_image_cache", (pattern, token, edges))
+        return edges
 
     def overlaps(self, other: "Embedding") -> bool:
         """Whether the two embeddings share at least one data-graph vertex."""
@@ -82,7 +118,7 @@ class Embedding:
 
     def is_valid(self, pattern: LabeledGraph, graph: GraphView) -> bool:
         """Full validity check: injective, label-preserving, edge-preserving."""
-        lookup = dict(self.mapping)
+        lookup = self._lookup()
         if set(lookup) != set(pattern.vertices()):
             return False
         if not self.is_injective():

@@ -9,27 +9,40 @@ fixes, all implemented here:
   Simple, not anti-monotone, but cheap; useful as an upper bound and for the
   injected-pattern verification in tests.
 * ``SupportMeasure.EDGE_DISJOINT`` — maximum number of pairwise edge-disjoint
-  embeddings (Vanetik, Gudes & Shimony 2002; also used by Kuramochi & Karypis).
-  Anti-monotone.
+  embeddings (Vanetik, Gudes & Shimony 2002; also used by Kuramochi &
+  Karypis).  Anti-monotone.  Deduplication happens on **edge** images: two
+  embeddings that cover the same vertices through different data edges are
+  distinct witnesses and both count (deduplicating on vertex images here was
+  a long-standing undercount, pinned by a regression test).
 * ``SupportMeasure.HARMFUL_OVERLAP`` — maximum independent set on the overlap
   graph where two embeddings conflict iff they share a *vertex image*
   (the harmful-overlap measure of Fiedler & Borgelt 2007).  This is the
   measure SpiderMine adopts ("a different yet more general support
   definition"), and the default throughout this package.
 
-Both MIS-based measures compute the independent set exactly for small
-embedding collections and fall back to the greedy heuristic (a lower bound,
-hence still safe for pruning) above ``exact_limit`` embeddings.
+Conflict graphs are built by the shared overlap engine
+(:mod:`repro.patterns.overlap`): an inverted :class:`EmbeddingIndex` pairs
+only embeddings that actually share a vertex/edge, instead of the O(n²)
+all-pairs intersection scans this module used to run.  Both MIS-based
+measures compute the independent set exactly for small embedding collections
+and fall back to the degeneracy-ordered greedy (a lower bound, hence still
+safe for pruning) above ``exact_limit`` embeddings.
 """
 
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, FrozenSet, List, Sequence, Set
+from typing import List, Sequence
 
-from ..graph.algorithms import exact_maximum_independent_set, greedy_maximum_independent_set
-from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.labeled_graph import LabeledGraph
 from .embedding import Embedding
+from .overlap import (
+    DEFAULT_EXACT_LIMIT,
+    EmbeddingIndex,
+    distinct_indices,
+    independent_set_size,
+    max_independent_set,
+)
 from .pattern import Pattern
 
 
@@ -41,46 +54,29 @@ class SupportMeasure(str, Enum):
     HARMFUL_OVERLAP = "harmful_overlap"
 
 
-DEFAULT_EXACT_LIMIT = 18
-
-
 def _distinct_images(embeddings: Sequence[Embedding]) -> List[Embedding]:
-    seen: Set[FrozenSet[Vertex]] = set()
-    out: List[Embedding] = []
-    for embedding in embeddings:
-        image = embedding.image
-        if image not in seen:
-            seen.add(image)
-            out.append(embedding)
-    return out
+    """One embedding per distinct vertex image, in first-seen order."""
+    keep = distinct_indices([e.image for e in embeddings])
+    return [embeddings[i] for i in keep]
 
 
-def _independent_set_size(
-    conflict: Dict[int, Set[int]],
-    exact_limit: int,
-) -> int:
-    if len(conflict) <= exact_limit:
-        return len(exact_maximum_independent_set(conflict, limit=exact_limit))
-    return len(greedy_maximum_independent_set(conflict))
+def _distinct_edge_images(
+    embeddings: Sequence[Embedding], pattern_graph: LabeledGraph
+) -> List[Embedding]:
+    """One embedding per distinct edge image, in first-seen order."""
+    keep = distinct_indices([e.edge_image(pattern_graph) for e in embeddings])
+    return [embeddings[i] for i in keep]
 
 
-def _overlap_conflicts(
-    embeddings: Sequence[Embedding],
+def _mis_support(
+    distinct: Sequence[Embedding],
     pattern_graph: LabeledGraph,
     edge_based: bool,
-) -> Dict[int, Set[int]]:
-    """Conflict graph over embedding indices (edge- or vertex-overlap)."""
-    conflict: Dict[int, Set[int]] = {i: set() for i in range(len(embeddings))}
-    if edge_based:
-        images = [e.edge_image(pattern_graph) for e in embeddings]
-    else:
-        images = [e.image for e in embeddings]
-    for i in range(len(embeddings)):
-        for j in range(i + 1, len(embeddings)):
-            if images[i] & images[j]:
-                conflict[i].add(j)
-                conflict[j].add(i)
-    return conflict
+    exact_limit: int,
+) -> int:
+    """MIS size over an already-deduplicated embedding list."""
+    index = EmbeddingIndex.from_embeddings(distinct, pattern_graph)
+    return independent_set_size(index.conflict_graph(edge_based=edge_based), exact_limit)
 
 
 def embedding_image_support(embeddings: Sequence[Embedding]) -> int:
@@ -94,15 +90,16 @@ def edge_disjoint_support(
     exact_limit: int = DEFAULT_EXACT_LIMIT,
 ) -> int:
     """Maximum number of pairwise edge-disjoint embeddings."""
-    distinct = _distinct_images(embeddings)
-    if not distinct:
+    if not embeddings:
         return 0
     if pattern_graph.num_edges == 0:
         # Single-vertex pattern: embeddings cannot share an edge; vertex-distinct
         # images are automatically edge-disjoint.
-        return len(distinct)
-    conflict = _overlap_conflicts(distinct, pattern_graph, edge_based=True)
-    return _independent_set_size(conflict, exact_limit)
+        return embedding_image_support(embeddings)
+    # Dedupe by *edge* image: automorphic remappings onto the same data edges
+    # are one witness, but same-vertex/different-edge embeddings are not.
+    distinct = _distinct_edge_images(embeddings, pattern_graph)
+    return _mis_support(distinct, pattern_graph, True, exact_limit)
 
 
 def harmful_overlap_support(
@@ -114,8 +111,7 @@ def harmful_overlap_support(
     distinct = _distinct_images(embeddings)
     if not distinct:
         return 0
-    conflict = _overlap_conflicts(distinct, pattern_graph, edge_based=False)
-    return _independent_set_size(conflict, exact_limit)
+    return _mis_support(distinct, pattern_graph, False, exact_limit)
 
 
 def compute_support(
@@ -141,21 +137,36 @@ def is_frequent(
 ) -> bool:
     """Whether the pattern meets ``min_support`` under ``measure``.
 
-    Short-circuits: the raw embedding count is an upper bound on every
-    overlap-aware measure, so if it is already below the threshold the MIS
-    computation is skipped.
+    A pattern with no embeddings is never frequent, not even for
+    ``min_support <= 0`` — every measure assigns it support 0, and support 0
+    means "does not occur".  Beyond that the check short-circuits: the raw
+    embedding count and the measure's distinct-image count are upper bounds on
+    the MIS value, so thresholds they already miss skip the MIS entirely.
     """
+    if not pattern.embeddings:
+        return False
     if min_support <= 0:
         return True
     if len(pattern.embeddings) < min_support:
         return False
     if measure is SupportMeasure.EMBEDDING_IMAGES:
         return embedding_image_support(pattern.embeddings) >= min_support
-    # For MIS measures, first check the cheap upper bound (distinct images).
-    distinct = _distinct_images(pattern.embeddings)
+    # For MIS measures, dedupe once under the measure's own conflict notion:
+    # the distinct count is a cheap upper bound that often skips the MIS, and
+    # the same list feeds the MIS when it does run.
+    if measure is SupportMeasure.EDGE_DISJOINT and pattern.graph.num_edges > 0:
+        distinct = _distinct_edge_images(pattern.embeddings, pattern.graph)
+        edge_based = True
+    else:
+        distinct = _distinct_images(pattern.embeddings)
+        edge_based = False
+        if measure is SupportMeasure.EDGE_DISJOINT:
+            # Edgeless pattern: vertex-distinct images are pairwise
+            # edge-disjoint, so the distinct count *is* the support.
+            return len(distinct) >= min_support
     if len(distinct) < min_support:
         return False
-    return compute_support(pattern, measure=measure, exact_limit=exact_limit) >= min_support
+    return _mis_support(distinct, pattern.graph, edge_based, exact_limit) >= min_support
 
 
 def select_disjoint_embeddings(
@@ -169,12 +180,25 @@ def select_disjoint_embeddings(
     ``edge_based=False`` gives vertex-disjoint embeddings (harmful-overlap
     witnesses), ``True`` gives edge-disjoint ones.
     """
-    distinct = _distinct_images(embeddings)
-    if not distinct:
+    if not embeddings:
         return []
-    conflict = _overlap_conflicts(distinct, pattern_graph, edge_based=edge_based)
-    if len(conflict) <= exact_limit:
-        chosen = exact_maximum_independent_set(conflict, limit=exact_limit)
+    if edge_based and pattern_graph.num_edges > 0:
+        distinct = _distinct_edge_images(embeddings, pattern_graph)
     else:
-        chosen = greedy_maximum_independent_set(conflict)
+        distinct = _distinct_images(embeddings)
+    index = EmbeddingIndex.from_embeddings(distinct, pattern_graph)
+    conflict = index.conflict_graph(edge_based=edge_based)
+    chosen = max_independent_set(conflict, exact_limit)
     return [distinct[i] for i in sorted(chosen)]
+
+
+__all__ = [
+    "DEFAULT_EXACT_LIMIT",
+    "SupportMeasure",
+    "embedding_image_support",
+    "edge_disjoint_support",
+    "harmful_overlap_support",
+    "compute_support",
+    "is_frequent",
+    "select_disjoint_embeddings",
+]

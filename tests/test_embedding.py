@@ -41,6 +41,49 @@ class TestImages:
         embedding = Embedding.from_dict({0: 5, 1: 6, 2: 7})
         assert embedding.edge_image(pattern) == frozenset({(5, 6), (6, 7)})
 
+    def test_images_are_memoised(self):
+        pattern = build_path(["A", "B"])
+        embedding = Embedding.from_dict({0: 1, 1: 2})
+        assert embedding.image is embedding.image
+        assert embedding.edge_image(pattern) is embedding.edge_image(pattern)
+
+    def test_edge_image_cache_invalidated_by_pattern_growth(self):
+        pattern = build_path(["A", "B", "C"])
+        embedding = Embedding.from_dict({0: 5, 1: 6, 2: 7})
+        assert embedding.edge_image(pattern) == frozenset({(5, 6), (6, 7)})
+        pattern.add_edge(0, 2)  # in-place growth must not serve the stale image
+        assert embedding.edge_image(pattern) == frozenset({(5, 6), (6, 7), (5, 7)})
+
+    def test_edge_image_cache_invalidated_by_constant_count_rewrite(self):
+        """A remove+add rewrite keeps num_edges constant; the cache must still miss."""
+        pattern = build_path(["A", "B", "C"])
+        embedding = Embedding.from_dict({0: 5, 1: 6, 2: 7})
+        assert embedding.edge_image(pattern) == frozenset({(5, 6), (6, 7)})
+        pattern.remove_edge(1, 2)
+        pattern.add_edge(0, 2)
+        assert embedding.edge_image(pattern) == frozenset({(5, 6), (5, 7)})
+
+    def test_edge_image_matches_occurrence_normalisation(self):
+        """One shared normalise_edge: Embedding and Occurrence can never drift."""
+        from repro.core import Occurrence
+
+        pattern = build_path(["A", "A"])
+        embedding = Embedding.from_dict({0: 9, 1: 2})  # repr order flips the endpoints
+        occurrence = Occurrence.from_embedding(pattern, embedding)
+        assert embedding.edge_image(pattern) == occurrence.edges
+
+    def test_pickle_drops_derived_caches(self):
+        import pickle
+
+        pattern = build_path(["A", "B"])
+        embedding = Embedding.from_dict({0: 1, 1: 2})
+        _ = embedding.image, embedding.edge_image(pattern), embedding[0]
+        clone = pickle.loads(pickle.dumps(embedding))
+        assert clone == embedding
+        assert "_image_cache" not in clone.__dict__
+        assert "_edge_image_cache" not in clone.__dict__
+        assert clone.image == embedding.image  # re-derived on demand
+
     def test_overlap_detection(self):
         a = Embedding.from_dict({0: 1, 1: 2})
         b = Embedding.from_dict({0: 2, 1: 3})

@@ -81,6 +81,40 @@ class TestOverlapAwareSupport:
         assert harmful_overlap_support([], pattern.graph) == 0
         assert edge_disjoint_support([], pattern.graph) == 0
 
+    def test_edge_disjoint_counts_same_vertex_different_edge_embeddings(self):
+        """Regression: dedup must be by *edge* image for the edge-disjoint MIS.
+
+        Pattern 2K2 (two disjoint A-A edges) in a 4-cycle of A vertices has
+        two embeddings covering the same four vertices through disjoint edge
+        pairs — {01, 23} and {12, 30}.  Deduplicating by vertex image silently
+        dropped one of them and reported support 1; the Vanetik-style measure
+        counts both.
+        """
+        cycle = LabeledGraph()
+        for i in range(4):
+            cycle.add_vertex(i, "A")
+        for i in range(4):
+            cycle.add_edge(i, (i + 1) % 4)
+        two_edges = LabeledGraph()
+        for i in range(4):
+            two_edges.add_vertex(i, "A")
+        two_edges.add_edge(0, 1)
+        two_edges.add_edge(2, 3)
+        pattern = Pattern(graph=two_edges)
+        emb_a = Embedding.from_dict({0: 0, 1: 1, 2: 2, 3: 3})  # edges {01, 23}
+        emb_b = Embedding.from_dict({0: 1, 1: 2, 2: 3, 3: 0})  # edges {12, 30}
+        assert emb_a.is_valid(pattern.graph, cycle) and emb_b.is_valid(pattern.graph, cycle)
+        assert emb_a.image == emb_b.image
+        assert not (emb_a.edge_image(pattern.graph) & emb_b.edge_image(pattern.graph))
+        embeddings = [emb_a, emb_b]
+        assert edge_disjoint_support(embeddings, pattern.graph) == 2
+        # Sharing every vertex still collapses the vertex-overlap measures.
+        assert harmful_overlap_support(embeddings, pattern.graph) == 1
+        assert embedding_image_support(embeddings) == 1
+        # And the witnesses themselves are selectable.
+        chosen = select_disjoint_embeddings(embeddings, pattern.graph, edge_based=True)
+        assert sorted(chosen, key=repr) == sorted(embeddings, key=repr)
+
     def test_anti_monotonicity_on_chain(self):
         """Harmful-overlap support never increases when the pattern grows."""
         graph = chain_graph(7)
@@ -115,8 +149,13 @@ class TestComputeSupportAndFrequency:
         assert is_frequent(pattern, 2, measure=SupportMeasure.EDGE_DISJOINT)
 
     def test_is_frequent_zero_threshold(self):
+        """A pattern with no embeddings is never frequent, even at threshold <= 0."""
         pattern = edge_pattern()
+        assert not is_frequent(pattern, 0)
+        assert not is_frequent(pattern, -1)
+        pattern.add_embedding(Embedding.from_dict({0: 1, 1: 2}))
         assert is_frequent(pattern, 0)
+        assert is_frequent(pattern, -1)
 
     def test_is_frequent_short_circuits_on_raw_count(self):
         pattern = edge_pattern()
