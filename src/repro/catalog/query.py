@@ -133,7 +133,9 @@ class CatalogQuery:
 
         Matching runs against the stored *pattern* graphs (small); candidate
         records are pre-filtered on size and label metadata before any
-        subgraph-isomorphism test runs.
+        subgraph-isomorphism test runs, and the matcher's candidate-domain
+        build (degree / neighbor-signature / arc-consistency) settles most
+        surviving negatives without entering a backtracking search.
         """
         graph = needle.graph if isinstance(needle, Pattern) else needle
         needle_labels = set(graph.labels().values())

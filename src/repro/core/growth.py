@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..graph.canonical import canonical_code
+from ..graph.isomorphism import SubgraphMatcher
 from ..graph.labeled_graph import LabeledGraph, Vertex, normalise_edge
 from ..graph.view import GraphView
 from ..patterns.embedding import Embedding
@@ -169,8 +170,6 @@ def occurrences_to_pattern(data_graph: GraphView, occurrences: Sequence[Occurren
     """
     if not occurrences:
         raise ValueError("cannot build a pattern from zero occurrences")
-    from ..graph.isomorphism import SubgraphMatcher
-
     first = occurrence_subgraph(data_graph, occurrences[0])
     order = sorted(first.vertices(), key=repr)
     rename = {v: i for i, v in enumerate(order)}

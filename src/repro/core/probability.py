@@ -72,23 +72,38 @@ def compute_seed_count(
 
     Found by doubling then binary search; monotonicity of the bound in ``M``
     holds for every ``M ≥ 1/hit`` and the search only relies on the final
-    check, so the returned ``M`` always satisfies the bound (or equals the cap
-    when one is supplied and the bound is unreachable under it).
+    check, so the returned ``M`` always satisfies the bound — when the bound
+    is unreachable within the 10M-seed search ceiling and no cap was
+    supplied, a :class:`ValueError` is raised rather than silently returning
+    an ``M`` that violates the promise.  A supplied ``max_seed_count`` always
+    caps the result (the caller has explicitly traded the guarantee for a
+    budget), even below the default floor of 2.
     """
     if not 0.0 < epsilon < 1.0:
         raise ValueError("epsilon must lie strictly between 0 and 1")
     if v_min < 1 or graph_vertices < 1:
         raise ValueError("v_min and graph_vertices must be positive")
+    if max_seed_count is not None and max_seed_count < 1:
+        raise ValueError("max_seed_count must be at least 1")
     target = 1.0 - epsilon
     hit = hit_probability(v_min, graph_vertices)
     if hit >= 1.0:
-        return max(2, 2 if max_seed_count is None else min(2, max_seed_count))
+        # Every draw hits, so two draws suffice — but a tighter explicit cap
+        # still wins (the old max(2, min(2, cap)) returned 2 even for cap=1).
+        return 2 if max_seed_count is None else min(2, max_seed_count)
 
     # Exponential search for an upper bracket.
     upper = 2
     while success_probability(upper, k, v_min, graph_vertices) < target:
         upper *= 2
         if upper > 10_000_000:
+            if max_seed_count is None:
+                raise ValueError(
+                    f"no seed count up to 10M draws reaches the 1-epsilon={target} "
+                    f"success bound (k={k}, v_min={v_min}, graph_vertices="
+                    f"{graph_vertices}); supply max_seed_count to accept a "
+                    "capped, weaker guarantee"
+                )
             break
     # The bound is not perfectly monotone for tiny M, so anchor the lower end at 2.
     lo, hi = 2, upper
@@ -98,10 +113,10 @@ def compute_seed_count(
             hi = mid
         else:
             lo = mid + 1
-    result = lo
+    result = max(2, lo)
     if max_seed_count is not None:
         result = min(result, max_seed_count)
-    return max(2, result)
+    return result
 
 
 @dataclass(frozen=True)

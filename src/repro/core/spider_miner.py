@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
+from ..graph.isomorphism import SubgraphMatcher
 from ..graph.labeled_graph import LabeledGraph, Vertex
 from ..graph.view import GraphView
 from ..patterns.embedding import Embedding
@@ -335,10 +336,19 @@ class SpiderMiner:
         Candidates reached through different growth orders can name their
         pattern vertices differently even though the codes agree, so the extra
         embeddings are realigned through one head-preserving isomorphism
-        before being unioned.
-        """
-        from ..graph.isomorphism import SubgraphMatcher
+        before being unioned.  The anchored search runs in BFS order rooted at
+        the head (the matcher's anchored-order contract), so it never degrades
+        to label-scan candidate pools on these connected spider graphs.
 
+        *Which* head-preserving isomorphism is found first does not matter
+        downstream: two choices differ by an automorphism fixing the head, so
+        the realigned embeddings have identical (head image, vertex image,
+        edge image) triples — the dedup key here and everything Stage II/III
+        reads (occurrence images, the head index).  Only the literal mapping
+        dicts differ, which reach nothing but the version-fenced spiders
+        cache payload; mining result digests were verified bit-identical
+        across the 1.5.0 anchored-order change on merge-heavy runs.
+        """
         if extra.graph == target.graph:
             rename = {v: v for v in extra.graph.vertices()}
         else:

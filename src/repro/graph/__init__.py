@@ -8,7 +8,9 @@ Public surface:
   both backends implement;
 * traversal / metric helpers (:func:`diameter`, :func:`bfs_distances`, ...);
 * :func:`canonical_code` / :func:`canonical_form` — canonical labeling;
-* :class:`SubgraphMatcher`, :func:`find_embeddings`, :func:`are_isomorphic`;
+* :class:`SubgraphMatcher` (candidate-domain engine), :func:`find_embeddings`,
+  :func:`find_anchored_embeddings`, :func:`are_isomorphic`,
+  :func:`matcher_digest` — the cross-backend parity fingerprint;
 * random graph models and the paper's synthetic injection recipe;
 * plain-text / JSON I/O.
 """
@@ -37,12 +39,15 @@ from .algorithms import (
 )
 from .canonical import are_isomorphic_by_code, canonical_code, canonical_form, canonical_order
 from .isomorphism import (
+    MatcherStats,
     SubgraphMatcher,
     are_isomorphic,
     count_automorphisms,
     embedding_edge_image,
     embedding_image,
+    find_anchored_embeddings,
     find_embeddings,
+    matcher_digest,
     subgraph_exists,
 )
 from .generators import (
@@ -90,12 +95,15 @@ __all__ = [
     "canonical_code",
     "canonical_form",
     "canonical_order",
+    "MatcherStats",
     "SubgraphMatcher",
     "are_isomorphic",
     "count_automorphisms",
     "embedding_edge_image",
     "embedding_image",
+    "find_anchored_embeddings",
     "find_embeddings",
+    "matcher_digest",
     "subgraph_exists",
     "InjectedPattern",
     "SyntheticSingleGraph",

@@ -230,6 +230,30 @@ class FrozenGraph:
         """Flat neighbor-index array; row ``i`` is ``[offsets[i], offsets[i+1])``."""
         return self._neighbors
 
+    def label_id(self, label: Label) -> Optional[int]:
+        """Interned id of ``label``, or ``None`` if no vertex carries it.
+
+        The index-space companion of :meth:`vertices_with_label`: kernels that
+        stay in CSR index space (the domain-based subgraph matcher) compare
+        per-vertex :attr:`label_ids` entries against this id instead of
+        materialising id-space label sets.
+        """
+        try:
+            return self._label_lookup.get(label)
+        except TypeError:
+            return None
+
+    def label_member_indices(self, label: Label):
+        """Dense indices of the vertices labeled ``label``, ascending.
+
+        Returns the internal membership row (an ``array`` — treat it as
+        read-only); an empty tuple when the label is absent.
+        """
+        lid = self.label_id(label)
+        if lid is None:
+            return ()
+        return self._label_members[lid]
+
     def index_of(self, vertex: Vertex) -> int:
         """Dense index of ``vertex``; raises :class:`GraphError` if absent."""
         try:

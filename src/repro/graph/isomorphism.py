@@ -1,4 +1,4 @@
-"""Labeled (sub)graph isomorphism.
+"""Labeled (sub)graph isomorphism on precomputed candidate domains.
 
 Two related problems are needed by the miners:
 
@@ -8,31 +8,103 @@ Two related problems are needed by the miners:
   the (much larger) data graph.  This powers support counting for the
   baselines and the verification paths of SpiderMine.
 
-The matcher is a VF2-style backtracking search with the standard pruning
-rules: label equality, degree feasibility, and connectivity-driven candidate
-ordering (the next pattern vertex matched is always adjacent to an already
-matched one whenever the pattern is connected, which keeps the candidate set
-small — neighbours of already-mapped data vertices only).
+The matcher is a backtracking search in the RI/GraphQL style: before any
+search starts, every pattern vertex gets a **candidate domain** — the target
+vertices with the right label, enough degree, and a neighbor-label multiset
+that dominates the pattern vertex's — refined by one pass of arc-consistency
+over the pattern edges.  An empty domain proves *zero* embeddings with no
+search at all; otherwise the search only ever tests candidates inside their
+domain.  Every domain filter is sound (it removes only vertices that can
+appear in no embedding), so filtering never changes *what* is enumerated,
+only how much work enumeration costs.
 
-Embeddings are *induced on edges* (not vertices): an embedding is an injective
-map ``f`` on pattern vertices preserving labels with ``(u,v) ∈ E(P) ⇒
-(f(u),f(v)) ∈ E(G)``.  That is the standard subgraph (monomorphism) semantics
-used by the paper and by all compared systems.  Set ``induced=True`` for the
-stricter induced-subgraph semantics.
+Two search paths share the domains:
+
+* on a :class:`~repro.graph.frozen.FrozenGraph` target the whole search runs
+  in **CSR index space** — int vertex indices, bisect probes on the sorted
+  neighbor arrays, no frozenset materialisation — converting back to vertex
+  ids only when an embedding is yielded;
+* on the dict backend the pre-refactor path is kept as the reference
+  implementation (frozenset candidate pools, now additionally filtered by the
+  domains).  Because domain filtering is pruning-only, the dict path yields
+  exactly the embedding *sequence* the matcher always produced.
+
+The two paths are pinned together by :func:`matcher_digest` — a canonical,
+order-insensitive fingerprint of an embedding collection (the analogue of the
+overlap engine's ``conflict_digest``): for any (pattern, target) pair the
+dict-path digest must equal the csr-path digest, which the perf-smoke suite
+and the hypothesis parity tests assert.  The pre-domain engine survives
+verbatim in :mod:`repro.graph._matcher_reference` as the behavioural oracle.
+
+Matching orders are connectivity-first (every vertex after the first of its
+component is adjacent to an already-matched one).  Anchored searches rebuild
+the BFS order *rooted at the anchor* — the pre-refactor code moved the anchor
+to the front but kept the free-order tail, so mid-search vertices could lose
+all mapped neighbors and silently fall back to whole-graph label scans
+(:attr:`MatcherStats.pool_fallbacks` counts those; a regression test pins
+them at zero for connected patterns).  :meth:`SubgraphMatcher.iter_anchored`
+amortises one domain build over a whole batch of anchors — the Stage-I access
+pattern, where a spider head is matched at every data vertex of one label.
+
+Embeddings are *induced on edges* (not vertices): an embedding is an
+injective map ``f`` on pattern vertices preserving labels with ``(u,v) ∈
+E(P) ⇒ (f(u),f(v)) ∈ E(G)``.  That is the standard subgraph (monomorphism)
+semantics used by the paper and by all compared systems.  Set
+``induced=True`` for the stricter induced-subgraph semantics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+import hashlib
+from bisect import bisect_left
+from collections import Counter
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from .frozen import FrozenGraph
 from .labeled_graph import LabeledGraph, Vertex, normalise_edge
 from .view import GraphView
 
 Mapping = Dict[Vertex, Vertex]
 
 
+@dataclass
+class MatcherStats:
+    """Work counters of one matcher instance (purely observational)."""
+
+    #: candidates that reached the per-candidate feasibility check
+    candidate_tests: int = 0
+    #: candidates rejected by domain membership before any feasibility work
+    domain_prunes: int = 0
+    #: label-scan candidate pools used mid-search (a vertex with no mapped
+    #: neighbor after the first of its component — 0 for connected patterns
+    #: under both the free and the anchored order)
+    pool_fallbacks: int = 0
+    #: searches answered "zero embeddings" by an empty domain, before any
+    #: backtracking started
+    empty_domain_cutoffs: int = 0
+    #: backtracking searches actually started
+    searches: int = 0
+
+
 class SubgraphMatcher:
-    """Enumerates embeddings of ``pattern`` in ``target``."""
+    """Enumerates embeddings of ``pattern`` in ``target``.
+
+    Candidate domains are built lazily on the first query and shared by every
+    subsequent query on the same instance (including whole anchored batches),
+    so reuse the matcher when asking several questions about one
+    (pattern, target) pair.
+    """
 
     def __init__(
         self,
@@ -43,7 +115,17 @@ class SubgraphMatcher:
         self.pattern = pattern
         self.target = target
         self.induced = induced
+        self.stats = MatcherStats()
+        self._csr: Optional[FrozenGraph] = (
+            target if isinstance(target, FrozenGraph) else None
+        )
         self._order = self._matching_order()
+        # Lazily built domain state.  ``_domains_ready`` distinguishes "not
+        # built yet" from "built and proven empty" (``_domains is None``).
+        self._domains_ready = False
+        self._domains: Optional[Dict[Vertex, Set[Vertex]]] = None          # dict path
+        self._domains_ix: Optional[Dict[Vertex, List[int]]] = None         # csr path
+        self._domain_sets_ix: Optional[Dict[Vertex, Set[int]]] = None      # csr path
 
     # ------------------------------------------------------------------ #
     # public API
@@ -65,36 +147,68 @@ class SubgraphMatcher:
         limit: Optional[int] = None,
         anchor: Optional[Tuple[Vertex, Vertex]] = None,
     ) -> Iterator[Mapping]:
-        if self.pattern.num_vertices == 0:
+        if not self._query_feasible():
             return
-        if self.pattern.num_vertices > self.target.num_vertices:
+        if not self._ensure_domains():
             return
-        if self.pattern.num_edges > self.target.num_edges:
-            return
-        if not self._labels_feasible():
-            return
-        order = self._order
         if anchor is not None:
             p_anchor, t_anchor = anchor
             if p_anchor not in self.pattern or t_anchor not in self.target:
                 return
             if self.pattern.label(p_anchor) != self.target.label(t_anchor):
                 return
-            order = [p_anchor] + [v for v in order if v != p_anchor]
-            initial: Mapping = {p_anchor: t_anchor}
-            used = {t_anchor}
-            start_index = 1
+            if not self._domain_contains(p_anchor, t_anchor):
+                return
+            order = self._anchored_order(p_anchor)
         else:
-            initial = {}
-            used = set()
-            start_index = 0
-
+            order = self._order
         count = 0
-        for mapping in self._search(order, start_index, initial, used):
-            yield dict(mapping)
+        for mapping in self._run_search(order, anchor):
+            yield mapping
             count += 1
             if limit is not None and count >= limit:
                 return
+
+    def iter_anchored(
+        self,
+        p_anchor: Vertex,
+        t_anchors: Optional[Iterable[Vertex]] = None,
+        limit_per_anchor: Optional[int] = None,
+    ) -> Iterator[Tuple[Vertex, Mapping]]:
+        """Batch anchored enumeration: ``(t_anchor, embedding)`` pairs.
+
+        One domain build and one anchored matching order are amortised over
+        the whole batch — the Stage-I access pattern, where a spider head is
+        matched at every data vertex of its label.  ``t_anchors`` defaults to
+        the anchor vertex's full candidate domain in canonical (repr-sorted)
+        order; anchors outside the domain yield nothing, exactly like the
+        equivalent single-anchor query.
+        """
+        if p_anchor not in self.pattern:
+            return
+        if not self._query_feasible():
+            return
+        if not self._ensure_domains():
+            return
+        order = self._anchored_order(p_anchor)
+        if t_anchors is None:
+            anchors: Iterable[Vertex] = self._domain_ids(p_anchor)
+        else:
+            anchors = t_anchors
+        label = self.pattern.label(p_anchor)
+        for t_anchor in anchors:
+            if t_anchor not in self.target:
+                continue
+            if self.target.label(t_anchor) != label:
+                continue
+            if not self._domain_contains(p_anchor, t_anchor):
+                continue
+            count = 0
+            for mapping in self._run_search(order, (p_anchor, t_anchor)):
+                yield t_anchor, mapping
+                count += 1
+                if limit_per_anchor is not None and count >= limit_per_anchor:
+                    break
 
     def exists(self, anchor: Optional[Tuple[Vertex, Vertex]] = None) -> bool:
         """Whether at least one embedding exists."""
@@ -110,8 +224,17 @@ class SubgraphMatcher:
         return n
 
     # ------------------------------------------------------------------ #
-    # internals
+    # shared guards and dispatch
     # ------------------------------------------------------------------ #
+    def _query_feasible(self) -> bool:
+        if self.pattern.num_vertices == 0:
+            return False
+        if self.pattern.num_vertices > self.target.num_vertices:
+            return False
+        if self.pattern.num_edges > self.target.num_edges:
+            return False
+        return self._labels_feasible()
+
     def _labels_feasible(self) -> bool:
         target_counts = self.target.label_counts()
         for label, needed in self.pattern.label_counts().items():
@@ -119,11 +242,19 @@ class SubgraphMatcher:
                 return False
         return True
 
-    def _matching_order(self) -> List[Vertex]:
-        """Connectivity-first ordering: rarest label first, then BFS-expand."""
+    def _run_search(
+        self, order: Sequence[Vertex], anchor: Optional[Tuple[Vertex, Vertex]]
+    ) -> Iterator[Mapping]:
+        self.stats.searches += 1
+        if self._csr is not None:
+            return self._search_csr(order, anchor)
+        return self._search_dict(order, anchor)
+
+    # ------------------------------------------------------------------ #
+    # matching orders
+    # ------------------------------------------------------------------ #
+    def _rarity_key(self):
         pattern = self.pattern
-        if pattern.num_vertices == 0:
-            return []
         target_counts = self.target.label_counts()
 
         def rarity(v: Vertex) -> Tuple[int, int, str]:
@@ -133,28 +264,255 @@ class SubgraphMatcher:
                 repr(v),
             )
 
-        remaining = set(pattern.vertices())
+        return rarity
+
+    def _expand_component(
+        self, start: Vertex, remaining: Set[Vertex], order: List[Vertex], rarity
+    ) -> None:
+        """BFS-expand one component from ``start`` (rarity-greedy frontier)."""
+        pattern = self.pattern
+        order.append(start)
+        remaining.discard(start)
+        frontier = [v for v in pattern.neighbors(start) if v in remaining]
+        while frontier:
+            nxt = min(frontier, key=rarity)
+            order.append(nxt)
+            remaining.discard(nxt)
+            frontier = [v for v in frontier if v != nxt]
+            frontier.extend(
+                v for v in pattern.neighbors(nxt) if v in remaining and v not in frontier
+            )
+
+    def _matching_order(self) -> List[Vertex]:
+        """Connectivity-first free ordering: rarest label first, BFS-expand."""
+        if self.pattern.num_vertices == 0:
+            return []
+        rarity = self._rarity_key()
+        remaining = set(self.pattern.vertices())
         order: List[Vertex] = []
         while remaining:
-            # Start a new component at the most selective vertex.
             start = min(remaining, key=rarity)
-            order.append(start)
-            remaining.discard(start)
-            frontier = [v for v in pattern.neighbors(start) if v in remaining]
-            while frontier:
-                nxt = min(frontier, key=rarity)
-                order.append(nxt)
-                remaining.discard(nxt)
-                frontier = [v for v in frontier if v != nxt]
-                frontier.extend(
-                    v for v in pattern.neighbors(nxt) if v in remaining and v not in frontier
-                )
+            self._expand_component(start, remaining, order, rarity)
         return order
+
+    def _anchored_order(self, p_anchor: Vertex) -> List[Vertex]:
+        """Connectivity-first ordering rooted at the anchor.
+
+        The anchor's component is BFS-expanded *from the anchor*, so every
+        later vertex of that component has a mapped neighbor when its turn
+        comes — the pre-refactor code reused the free-order tail here, which
+        broke that invariant and degraded mid-search candidate pools to
+        whole-graph label scans.  Remaining components follow the free
+        construction.
+        """
+        rarity = self._rarity_key()
+        remaining = set(self.pattern.vertices())
+        order: List[Vertex] = []
+        self._expand_component(p_anchor, remaining, order, rarity)
+        while remaining:
+            start = min(remaining, key=rarity)
+            self._expand_component(start, remaining, order, rarity)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # candidate domains
+    # ------------------------------------------------------------------ #
+    def _ensure_domains(self) -> bool:
+        """Build the candidate domains once; False ⇒ some domain is empty."""
+        if not self._domains_ready:
+            self._domains_ready = True
+            if self._csr is not None:
+                self._build_domains_csr()
+            else:
+                self._build_domains_dict()
+            if (self._domains is None) and (self._domains_ix is None):
+                self.stats.empty_domain_cutoffs += 1
+        return (self._domains is not None) or (self._domains_ix is not None)
+
+    def _pattern_requirements(self) -> List[Tuple[Vertex, object, int, Counter]]:
+        """(vertex, label, degree, neighbor-label multiset) per pattern vertex."""
+        pattern = self.pattern
+        out = []
+        for p in pattern.vertices():
+            signature = Counter(pattern.label(q) for q in pattern.neighbors(p))
+            out.append((p, pattern.label(p), pattern.degree(p), signature))
+        return out
+
+    def _ac_edges(self) -> List[Tuple[Vertex, Vertex]]:
+        """Pattern edges in one fixed order for the arc-consistency pass."""
+        return sorted(self.pattern.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+
+    def _build_domains_dict(self) -> None:
+        target = self.target
+        signature_cache: Dict[Vertex, Counter] = {}
+
+        def target_signature(t: Vertex) -> Counter:
+            sig = signature_cache.get(t)
+            if sig is None:
+                sig = Counter(target.label(n) for n in target.neighbors(t))
+                signature_cache[t] = sig
+            return sig
+
+        domains: Dict[Vertex, Set[Vertex]] = {}
+        for p, label, degree, needed in self._pattern_requirements():
+            domain: Set[Vertex] = set()
+            for t in target.vertices_with_label(label):
+                if target.degree(t) < degree:
+                    continue
+                if needed:
+                    sig = target_signature(t)
+                    if any(sig.get(lbl, 0) < cnt for lbl, cnt in needed.items()):
+                        continue
+                domain.add(t)
+            if not domain:
+                return
+            domains[p] = domain
+
+        # One arc-consistency pass: for each pattern edge, keep only domain
+        # members with at least one neighbor in the opposite domain.
+        for u, v in self._ac_edges():
+            for a, b in ((u, v), (v, u)):
+                dom_b = domains[b]
+                kept = {
+                    t
+                    for t in domains[a]
+                    if self._has_neighbor_in_dict(t, dom_b)
+                }
+                if not kept:
+                    return
+                domains[a] = kept
+        self._domains = domains
+
+    def _has_neighbor_in_dict(self, t: Vertex, domain: Set[Vertex]) -> bool:
+        neighbors = self.target.neighbors(t)
+        if len(domain) < len(neighbors):
+            return any(s in neighbors for s in domain)
+        return any(n in domain for n in neighbors)
+
+    def _build_domains_csr(self) -> None:
+        g = self._csr
+        assert g is not None
+        offsets = g.offsets
+        nbrs = g.neighbor_indices
+        lids = g.label_ids
+        signature_cache: Dict[int, Counter] = {}
+
+        domains: Dict[Vertex, List[int]] = {}
+        for p, label, degree, needed in self._pattern_requirements():
+            needed_ix = Counter()
+            feasible = True
+            for lbl, cnt in needed.items():
+                lid = g.label_id(lbl)
+                if lid is None:
+                    feasible = False
+                    break
+                needed_ix[lid] = cnt
+            if not feasible:
+                return
+            domain: List[int] = []
+            for t in g.label_member_indices(label):
+                if offsets[t + 1] - offsets[t] < degree:
+                    continue
+                if needed_ix:
+                    sig = signature_cache.get(t)
+                    if sig is None:
+                        sig = Counter(lids[c] for c in nbrs[offsets[t]:offsets[t + 1]])
+                        signature_cache[t] = sig
+                    if any(sig.get(lid, 0) < cnt for lid, cnt in needed_ix.items()):
+                        continue
+                domain.append(t)  # member rows ascend, so domains stay sorted
+            if not domain:
+                return
+            domains[p] = domain
+
+        for u, v in self._ac_edges():
+            for a, b in ((u, v), (v, u)):
+                dom_b = domains[b]
+                dom_b_set = set(dom_b)
+                kept = [
+                    t
+                    for t in domains[a]
+                    if self._has_neighbor_in_csr(t, dom_b, dom_b_set)
+                ]
+                if not kept:
+                    return
+                domains[a] = kept
+        self._domains_ix = domains
+        self._domain_sets_ix = {p: set(dom) for p, dom in domains.items()}
+
+    def _has_neighbor_in_csr(
+        self, t: int, domain: List[int], domain_set: Set[int]
+    ) -> bool:
+        g = self._csr
+        assert g is not None
+        offsets = g.offsets
+        nbrs = g.neighbor_indices
+        lo, hi = offsets[t], offsets[t + 1]
+        if hi - lo <= len(domain):
+            return any(nbrs[j] in domain_set for j in range(lo, hi))
+        for s in domain:
+            j = bisect_left(nbrs, s, lo, hi)
+            if j < hi and nbrs[j] == s:
+                return True
+        return False
+
+    def _domain_contains(self, p_vertex: Vertex, t_vertex: Vertex) -> bool:
+        if self._csr is not None:
+            assert self._domain_sets_ix is not None
+            try:
+                index = self._csr.index_of(t_vertex)
+            except Exception:
+                return False
+            return index in self._domain_sets_ix[p_vertex]
+        assert self._domains is not None
+        return t_vertex in self._domains[p_vertex]
+
+    def _domain_ids(self, p_vertex: Vertex) -> List[Vertex]:
+        """The candidate domain as vertex ids in canonical (repr-sorted) order."""
+        if self._csr is not None:
+            assert self._domains_ix is not None
+            ids = self._csr.vertex_ids
+            members = [ids[i] for i in self._domains_ix[p_vertex]]
+        else:
+            assert self._domains is not None
+            members = list(self._domains[p_vertex])
+        return sorted(members, key=repr)
+
+    def domain_sizes(self) -> Dict[Vertex, int]:
+        """Per-pattern-vertex candidate-domain sizes ({} when some domain is empty)."""
+        if not self._query_feasible() or not self._ensure_domains():
+            return {}
+        if self._csr is not None:
+            assert self._domains_ix is not None
+            return {p: len(dom) for p, dom in self._domains_ix.items()}
+        assert self._domains is not None
+        return {p: len(dom) for p, dom in self._domains.items()}
+
+    # ------------------------------------------------------------------ #
+    # dict-backend search (the reference path, domain-filtered)
+    # ------------------------------------------------------------------ #
+    def _search_dict(
+        self, order: Sequence[Vertex], anchor: Optional[Tuple[Vertex, Vertex]]
+    ) -> Iterator[Mapping]:
+        if anchor is not None:
+            p_anchor, t_anchor = anchor
+            initial: Mapping = {p_anchor: t_anchor}
+            used = {t_anchor}
+            start_index = 1
+        else:
+            initial = {}
+            used = set()
+            start_index = 0
+        for mapping in self._search(order, start_index, initial, used):
+            yield dict(mapping)
 
     def _candidates(
         self, p_vertex: Vertex, mapping: Mapping, used: Set[Vertex]
     ) -> Iterator[Vertex]:
         pattern, target = self.pattern, self.target
+        stats = self.stats
+        assert self._domains is not None
+        domain = self._domains[p_vertex]
         label = pattern.label(p_vertex)
         mapped_neighbors = [u for u in pattern.neighbors(p_vertex) if u in mapping]
         if mapped_neighbors:
@@ -165,10 +523,23 @@ class SubgraphMatcher:
                 candidate_pool = candidate_pool & target.neighbors(mapping[other])
             for t_vertex in candidate_pool:
                 if t_vertex not in used and target.label(t_vertex) == label:
+                    if t_vertex not in domain:
+                        stats.domain_prunes += 1
+                        continue
+                    stats.candidate_tests += 1
                     yield t_vertex
         else:
-            for t_vertex in self.target.vertices_with_label(label):
+            if mapping:
+                stats.pool_fallbacks += 1
+            # Iterate the label pool (canonical frozenset layout) rather than
+            # the domain set, so the yielded sequence matches the reference
+            # path exactly; the domain only filters.
+            for t_vertex in target.vertices_with_label(label):
                 if t_vertex not in used:
+                    if t_vertex not in domain:
+                        stats.domain_prunes += 1
+                        continue
+                    stats.candidate_tests += 1
                     yield t_vertex
 
     def _feasible(self, p_vertex: Vertex, t_vertex: Vertex, mapping: Mapping) -> bool:
@@ -207,6 +578,121 @@ class SubgraphMatcher:
             del mapping[p_vertex]
             used.discard(t_vertex)
 
+    # ------------------------------------------------------------------ #
+    # CSR index-space search (the FrozenGraph fast path)
+    # ------------------------------------------------------------------ #
+    def _search_csr(
+        self, order: Sequence[Vertex], anchor: Optional[Tuple[Vertex, Vertex]]
+    ) -> Iterator[Mapping]:
+        g = self._csr
+        assert g is not None and self._domains_ix is not None
+        pattern = self.pattern
+        stats = self.stats
+        offsets = g.offsets
+        nbrs = g.neighbor_indices
+        lids = g.label_ids
+        ids = g.vertex_ids
+        domain_sets = self._domain_sets_ix
+        assert domain_sets is not None
+
+        n_p = len(order)
+        position = {p: i for i, p in enumerate(order)}
+        # Per position: pattern neighbors mapped earlier, and (for induced
+        # semantics) earlier non-neighbors whose images must stay non-adjacent.
+        earlier_neighbors: List[List[Vertex]] = []
+        earlier_others: List[List[Vertex]] = []
+        for i, p in enumerate(order):
+            nbrs_p = pattern.neighbors(p)
+            earlier_neighbors.append([q for q in nbrs_p if position[q] < i])
+            if self.induced:
+                earlier_others.append([order[j] for j in range(i) if order[j] not in nbrs_p])
+            else:
+                earlier_others.append([])
+        label_ix = {p: g.label_id(pattern.label(p)) for p in order}
+
+        mapping_ix: Dict[Vertex, int] = {}
+        used: Set[int] = set()
+        start_index = 0
+        if anchor is not None:
+            p_anchor, t_anchor = anchor
+            anchor_ix = g.index_of(t_anchor)
+            mapping_ix[p_anchor] = anchor_ix
+            used.add(anchor_ix)
+            start_index = 1
+
+        def row_contains(lo: int, hi: int, value: int) -> bool:
+            j = bisect_left(nbrs, value, lo, hi)
+            return j < hi and nbrs[j] == value
+
+        def adjacent(a: int, b: int) -> bool:
+            # Probe the shorter of the two sorted rows.
+            alo, ahi = offsets[a], offsets[a + 1]
+            blo, bhi = offsets[b], offsets[b + 1]
+            if ahi - alo <= bhi - blo:
+                return row_contains(alo, ahi, b)
+            return row_contains(blo, bhi, a)
+
+        def induced_ok(i: int, candidate: int) -> bool:
+            row_lo, row_hi = offsets[candidate], offsets[candidate + 1]
+            for q in earlier_others[i]:
+                if row_contains(row_lo, row_hi, mapping_ix[q]):
+                    return False
+            return True
+
+        def search(i: int) -> Iterator[Mapping]:
+            if i == n_p:
+                yield {p: ids[t] for p, t in mapping_ix.items()}
+                return
+            p = order[i]
+            domain_set = domain_sets[p]
+            p_lid = label_ix[p]
+            mapped = earlier_neighbors[i]
+            if mapped:
+                # The candidate pool is the intersection of the mapped
+                # neighbors' rows: iterate the shortest row ascending, bisect
+                # the others.
+                rows = [
+                    (offsets[mapping_ix[q]], offsets[mapping_ix[q] + 1]) for q in mapped
+                ]
+                base = min(range(len(rows)), key=lambda k: rows[k][1] - rows[k][0])
+                base_lo, base_hi = rows[base]
+                others = [rows[k] for k in range(len(rows)) if k != base]
+                for j in range(base_lo, base_hi):
+                    candidate = nbrs[j]
+                    if any(
+                        not row_contains(olo, ohi, candidate) for olo, ohi in others
+                    ):
+                        continue
+                    if candidate in used or lids[candidate] != p_lid:
+                        continue
+                    if candidate not in domain_set:
+                        stats.domain_prunes += 1
+                        continue
+                    stats.candidate_tests += 1
+                    if self.induced and not induced_ok(i, candidate):
+                        continue
+                    mapping_ix[p] = candidate
+                    used.add(candidate)
+                    yield from search(i + 1)
+                    del mapping_ix[p]
+                    used.discard(candidate)
+            else:
+                if mapping_ix:
+                    stats.pool_fallbacks += 1
+                for candidate in self._domains_ix[p]:
+                    if candidate in used:
+                        continue
+                    stats.candidate_tests += 1
+                    if self.induced and not induced_ok(i, candidate):
+                        continue
+                    mapping_ix[p] = candidate
+                    used.add(candidate)
+                    yield from search(i + 1)
+                    del mapping_ix[p]
+                    used.discard(candidate)
+
+        yield from search(start_index)
+
 
 # ---------------------------------------------------------------------- #
 # module-level conveniences
@@ -221,13 +707,35 @@ def find_embeddings(
     return SubgraphMatcher(pattern, target, induced=induced).find_embeddings(limit=limit)
 
 
+def find_anchored_embeddings(
+    pattern: LabeledGraph,
+    target: GraphView,
+    p_anchor: Vertex,
+    t_anchors: Optional[Iterable[Vertex]] = None,
+    limit_per_anchor: Optional[int] = None,
+    induced: bool = False,
+) -> Dict[Vertex, List[Mapping]]:
+    """Embeddings grouped by anchor image, one domain build for the batch.
+
+    ``t_anchors`` defaults to every feasible target vertex of the anchor's
+    label (its candidate domain) in canonical order.
+    """
+    matcher = SubgraphMatcher(pattern, target, induced=induced)
+    grouped: Dict[Vertex, List[Mapping]] = {}
+    for t_anchor, mapping in matcher.iter_anchored(
+        p_anchor, t_anchors=t_anchors, limit_per_anchor=limit_per_anchor
+    ):
+        grouped.setdefault(t_anchor, []).append(mapping)
+    return grouped
+
+
 def subgraph_exists(pattern: LabeledGraph, target: GraphView) -> bool:
     """Whether ``pattern`` has at least one embedding in ``target``."""
     return SubgraphMatcher(pattern, target).exists()
 
 
 def are_isomorphic(first: GraphView, second: GraphView) -> bool:
-    """Exact labeled graph isomorphism via bidirectional size checks + VF2."""
+    """Exact labeled graph isomorphism via bidirectional size checks + matching."""
     if first.num_vertices != second.num_vertices or first.num_edges != second.num_edges:
         return False
     if first.label_counts() != second.label_counts():
@@ -254,3 +762,22 @@ def embedding_edge_image(
     return frozenset(
         normalise_edge(mapping[u], mapping[v]) for u, v in pattern.edges()
     )
+
+
+def matcher_digest(embeddings: Iterable[Mapping]) -> str:
+    """Canonical, order-insensitive fingerprint of an embedding collection.
+
+    Each mapping is serialised with its pairs in repr-sorted pattern-vertex
+    order and the rows are sorted before hashing, so two enumerations of the
+    same embedding *set* — in particular the dict-backend and the CSR
+    index-space search paths — always digest identically.  This is the parity
+    gate mirroring the overlap engine's ``conflict_digest``.
+    """
+    rows = sorted(
+        "|".join(
+            f"{p!r}>{g!r}"
+            for p, g in sorted(mapping.items(), key=lambda kv: repr(kv[0]))
+        )
+        for mapping in embeddings
+    )
+    return hashlib.sha256(";".join(rows).encode()).hexdigest()[:16]

@@ -15,7 +15,13 @@ from .pattern import Pattern
 
 
 def is_sub_pattern(candidate: Pattern, container: Pattern) -> bool:
-    """Whether ``candidate`` is (isomorphic to) a subgraph of ``container``."""
+    """Whether ``candidate`` is (isomorphic to) a subgraph of ``container``.
+
+    The size/label pre-checks answer the cheap negatives without building a
+    matcher; past them, the matcher's domain construction (degree +
+    neighbor-signature + arc-consistency) rejects most remaining impossible
+    containments before any backtracking starts.
+    """
     if candidate.num_vertices > container.num_vertices:
         return False
     if candidate.num_edges > container.num_edges:

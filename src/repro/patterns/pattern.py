@@ -116,7 +116,12 @@ class Pattern:
         return covered
 
     def recompute_embeddings(self, data_graph: GraphView, limit: Optional[int] = None) -> None:
-        """Re-enumerate all embeddings from scratch using the subgraph matcher."""
+        """Re-enumerate all embeddings from scratch using the subgraph matcher.
+
+        The matcher's candidate domains mean a pattern that cannot occur
+        (label, degree, neighbor-signature or arc-consistency infeasible)
+        costs one domain build and no search at all.
+        """
         matcher = SubgraphMatcher(self.graph, data_graph)
         self.embeddings = [
             Embedding.from_dict(m) for m in matcher.iter_embeddings(limit=limit)

@@ -23,11 +23,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Counter as CounterType, Dict, List, Tuple
+from typing import Counter as CounterType, Dict, List, Optional, Tuple
 
 from ..graph.algorithms import bfs_distances, is_r_bounded_from
 from ..graph.canonical import canonical_code
+from ..graph.isomorphism import SubgraphMatcher, embedding_edge_image
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.view import GraphView
 from .embedding import Embedding
 from .pattern import Pattern
 
@@ -74,6 +76,41 @@ class Spider(Pattern):
     def head_images(self) -> List[Vertex]:
         """Data-graph vertices that serve as the head in some embedding."""
         return sorted({dict(e.mapping)[self.head] for e in self.embeddings}, key=repr)
+
+    def recompute_embeddings(
+        self, data_graph: GraphView, limit: Optional[int] = None
+    ) -> None:
+        """Re-enumerate embeddings head-anchored, one domain build for all anchors.
+
+        This is the Stage-I access pattern: the head is pinned to every
+        feasible data vertex of its label in canonical (repr-sorted) order and
+        the rest of the spider is matched around it, with the matcher's
+        candidate domains and anchored BFS order built once for the whole
+        batch instead of once per anchor.  Embeddings are deduplicated by
+        (head image, vertex image, edge image): automorphic remappings onto
+        the same data subgraph collapse to one witness per anchor, but
+        same-vertices/different-edges embeddings are all kept — they are
+        distinct edge-disjoint witnesses, the class the 1.4.0 support fix
+        made countable (deduplicating on vertex images alone here would
+        silently undercount ``edge_disjoint_support`` over the result).
+        ``limit`` caps the total kept.
+        """
+        matcher = SubgraphMatcher(self.graph, data_graph)
+        seen = set()
+        kept: List[Embedding] = []
+        for head_image, mapping in matcher.iter_anchored(self.head):
+            key = (
+                head_image,
+                frozenset(mapping.values()),
+                embedding_edge_image(self.graph, mapping),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(Embedding.from_dict(mapping))
+            if limit is not None and len(kept) >= limit:
+                break
+        self.embeddings = kept
 
     def copy(self) -> "Spider":
         return Spider(

@@ -52,7 +52,12 @@ class GraphDatabase:
     # transaction support
     # ------------------------------------------------------------------ #
     def supporting_transactions(self, pattern: LabeledGraph) -> List[int]:
-        """Indices of database graphs containing at least one embedding of ``pattern``."""
+        """Indices of database graphs containing at least one embedding of ``pattern``.
+
+        One matcher per transaction: the per-transaction candidate-domain
+        build answers most non-containing transactions with an empty domain
+        instead of a backtracking search.
+        """
         supporting = []
         for index, graph in enumerate(self.graphs):
             if SubgraphMatcher(pattern, graph).exists():

@@ -88,11 +88,31 @@ class TestSeedCount:
     def test_degenerate_full_graph_pattern(self):
         assert compute_seed_count(1, 0.1, 100, 100) >= 2
 
+    def test_cap_of_one_respected_when_every_draw_hits(self):
+        """Regression: hit >= 1 used to return max(2, min(2, cap)) == 2 for cap=1."""
+        assert compute_seed_count(1, 0.1, 100, 100, max_seed_count=1) == 1
+        assert compute_seed_count(1, 0.1, 200, 100, max_seed_count=1) == 1
+
+    def test_cap_of_one_respected_in_general_search(self):
+        """The cap binds below the default floor of 2 on the search path too."""
+        assert compute_seed_count(10, 0.1, 100, 1000, max_seed_count=1) == 1
+
+    def test_uncapped_unreachable_bound_raises(self):
+        """Regression: the 10M doubling ceiling used to silently return an M
+        that violates the documented 1-epsilon guarantee."""
+        with pytest.raises(ValueError, match="10M"):
+            compute_seed_count(10, 0.01, 1, 10**9)
+
+    def test_capped_unreachable_bound_returns_cap(self):
+        assert compute_seed_count(10, 0.01, 1, 10**9, max_seed_count=500) == 500
+
     def test_invalid_inputs(self):
         with pytest.raises(ValueError):
             compute_seed_count(10, 1.5, 10, 100)
         with pytest.raises(ValueError):
             compute_seed_count(10, 0.1, 0, 100)
+        with pytest.raises(ValueError):
+            compute_seed_count(10, 0.1, 10, 100, max_seed_count=0)
 
 
 class TestSeedPlan:
