@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Perf smoke test: graph backends, the parallel engine, the catalog, the
-overlap engine and the candidate-domain subgraph matcher.
+overlap engine, the candidate-domain subgraph matcher and the vectorized
+numpy kernel layer.
 
-Five measurement suites:
+Six measurement suites:
 
 * **backend** — dict vs csr on (a) a BFS-distance sweep from a fixed sample
   of sources and (b) a light Stage-I spider-mining pass over one
@@ -35,7 +36,21 @@ Five measurement suites:
   parity is digest-checked (``matcher_digest``) across the reference, the
   dict path and the CSR index-space path (plus dict-path *sequence* equality,
   the invariant that keeps mining digests stable), and the suite prints
-  ``matcher parity: ok`` for the CI gate to grep.
+  ``matcher parity: ok`` for the CI gate to grep.  Free-search timings are
+  best-of-``TIMING_REPEATS`` and, when numpy is available, the vectorized
+  CSR path must not be slower than the reference engine (full profile;
+  the quick CI graph is too small to amortise the kernel precompute and
+  gets ``QUICK_GATE_SLACK`` headroom) — the regression gate this PR's
+  kernel layer exists to pass.
+* **kernels** — the numpy kernel layer (``repro.graph.kernels``) vs its
+  scalar counterparts: end-to-end free search with kernels enabled vs the
+  scalar-fallback CSR path vs the reference engine (sequence/digest parity
+  asserted), plus per-kernel micro-timings (domain seeding, arc consistency,
+  sorted intersection, bulk row filtering, posting-pair merge) against naive
+  scalar references on inputs lifted from the same dense-class workload;
+  written to ``BENCH_kernels.json``.  Every kernel's output is parity-checked
+  before its clock is trusted, and the suite prints ``kernel parity: ok``
+  for the CI gate to grep.
 
 Run:  python benchmarks/perf_smoke.py             (full, ~minutes)
       python benchmarks/perf_smoke.py --quick     (CI smoke, small graph)
@@ -82,6 +97,27 @@ PARALLEL_RESULT_PATH = REPO_ROOT / "BENCH_parallel_mining.json"
 CATALOG_RESULT_PATH = REPO_ROOT / "BENCH_catalog.json"
 OVERLAP_RESULT_PATH = REPO_ROOT / "BENCH_overlap_index.json"
 MATCHER_RESULT_PATH = REPO_ROOT / "BENCH_matcher.json"
+KERNELS_RESULT_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+#: Repetitions for best-of wall-clock measurements (shared-host noise makes
+#: single-shot comparisons meaningless; the minimum is the honest signal).
+TIMING_REPEATS = 5
+
+#: Free-search wall-clock gate: on the full profile the vectorized CSR path
+#: must beat the pre-domain reference outright; the quick CI graph is too
+#: small to amortise the domain-build/candidate-adjacency precompute, so
+#: there it only has to stay within this factor of the reference — still a
+#: hard stop for gross regressions like the pre-kernel 1.8x loss.
+QUICK_GATE_SLACK = 1.5
+
+
+def assert_free_search_gate(profile, csr_seconds, ref_seconds):
+    bound = ref_seconds if profile == "full" else ref_seconds * QUICK_GATE_SLACK
+    assert csr_seconds <= bound, (
+        f"free-search regression ({profile}): vectorized csr "
+        f"{csr_seconds:.4f}s exceeds the reference bound {bound:.4f}s "
+        f"(reference {ref_seconds:.4f}s)"
+    )
 
 #: profile -> (graph vertices, free-search embedding cap) for the matcher
 #: suite; one-in-ten vertices carries the rare label so the dense class
@@ -426,9 +462,25 @@ def run_overlap_suite(profile):
     )
 
 
+def best_of(make_engine, run):
+    """Best-of-``TIMING_REPEATS`` wall-clock for ``run(make_engine())``.
+
+    Returns ``(seconds, result, engine)`` — the minimum time, plus the last
+    repeat's result and engine so callers can read counters off it.
+    """
+    seconds = []
+    result = engine = None
+    for _ in range(TIMING_REPEATS):
+        engine = make_engine()
+        start = time.perf_counter()
+        result = run(engine)
+        seconds.append(time.perf_counter() - start)
+    return min(seconds), result, engine
+
+
 def run_matcher_suite(profile):
     """Domain matcher vs pre-refactor reference on a dense two-label class."""
-    from repro.graph import LabeledGraph, SubgraphMatcher, matcher_digest
+    from repro.graph import LabeledGraph, SubgraphMatcher, kernels, matcher_digest
     from repro.graph._matcher_reference import ReferenceSubgraphMatcher
 
     num_vertices, embedding_cap = MATCHER_PROFILES[profile]
@@ -455,21 +507,20 @@ def run_matcher_suite(profile):
     pattern.add_edge(1, 2)
 
     # ---- free search: reference vs domain matcher, both backends ---------
-    start = time.perf_counter()
-    reference = ReferenceSubgraphMatcher(pattern, graph)
-    ref_free = reference.find_embeddings(limit=embedding_cap)
-    ref_free_seconds = time.perf_counter() - start
+    ref_free_seconds, ref_free, reference = best_of(
+        lambda: ReferenceSubgraphMatcher(pattern, graph),
+        lambda m: m.find_embeddings(limit=embedding_cap),
+    )
     ref_free_tests = reference.candidate_tests
 
-    start = time.perf_counter()
-    dict_matcher = SubgraphMatcher(pattern, graph)
-    dict_free = dict_matcher.find_embeddings(limit=embedding_cap)
-    dict_free_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    csr_matcher = SubgraphMatcher(pattern, frozen)
-    csr_free = csr_matcher.find_embeddings(limit=embedding_cap)
-    csr_free_seconds = time.perf_counter() - start
+    dict_free_seconds, dict_free, dict_matcher = best_of(
+        lambda: SubgraphMatcher(pattern, graph),
+        lambda m: m.find_embeddings(limit=embedding_cap),
+    )
+    csr_free_seconds, csr_free, csr_matcher = best_of(
+        lambda: SubgraphMatcher(pattern, frozen),
+        lambda m: m.find_embeddings(limit=embedding_cap),
+    )
 
     # Parity before any number is trusted: the dict path must reproduce the
     # reference *sequence* (the mining-digest invariant), the csr path the
@@ -479,6 +530,12 @@ def run_matcher_suite(profile):
     assert matcher_digest(csr_free) == free_digest, (
         "matcher parity FAILED: csr path diverged from the reference set"
     )
+    # The regression gate the kernel layer exists to pass: with numpy
+    # dispatched, the vectorized CSR free search must not lose wall-clock to
+    # the pre-domain reference engine (best-of minima, so shared-host noise
+    # is already filtered out).
+    if kernels.numpy_available():
+        assert_free_search_gate(profile, csr_free_seconds, ref_free_seconds)
 
     # ---- anchored batch: per-anchor reference vs one domain build --------
     anchors = sorted(graph.vertices_with_label("A"), key=repr)
@@ -593,6 +650,265 @@ def run_matcher_suite(profile):
     )
 
 
+def run_kernels_suite(profile):
+    """Numpy kernel layer vs scalar counterparts: end-to-end and per kernel."""
+    from bisect import bisect_left
+    from collections import Counter
+
+    from repro.graph import LabeledGraph, SubgraphMatcher, kernels, matcher_digest
+    from repro.graph._matcher_reference import ReferenceSubgraphMatcher
+    from repro.patterns import EmbeddingIndex
+
+    if not kernels.HAVE_NUMPY:
+        print("kernels suite skipped: numpy unavailable", flush=True)
+        return
+    import numpy as np
+
+    num_vertices, embedding_cap = MATCHER_PROFILES[profile]
+    print(
+        f"kernels suite: |V|={num_vertices} two-label ER graph, "
+        "end-to-end + per-kernel micro-timings ...",
+        flush=True,
+    )
+    base = erdos_renyi_graph(num_vertices, 4.0, 1, seed=SEED)
+    graph = LabeledGraph()
+    for i in range(num_vertices):
+        graph.add_vertex(i, "B" if i % 10 == 0 else "A")
+    for u, v in base.edges():
+        graph.add_edge(u, v)
+    frozen = freeze(graph)
+    pattern = LabeledGraph()
+    pattern.add_vertex(0, "A")
+    pattern.add_vertex(1, "A")
+    pattern.add_vertex(2, "B")
+    pattern.add_edge(0, 1)
+    pattern.add_edge(1, 2)
+
+    # ---- end-to-end free search across the three engines -----------------
+    ref_seconds, ref_free, _ = best_of(
+        lambda: ReferenceSubgraphMatcher(pattern, graph),
+        lambda m: m.find_embeddings(limit=embedding_cap),
+    )
+    kernel_seconds, kernel_free, _ = best_of(
+        lambda: SubgraphMatcher(pattern, frozen),
+        lambda m: m.find_embeddings(limit=embedding_cap),
+    )
+    with kernels.scalar_fallback():
+        scalar_seconds, scalar_free, _ = best_of(
+            lambda: SubgraphMatcher(pattern, frozen),
+            lambda m: m.find_embeddings(limit=embedding_cap),
+        )
+    # Both CSR paths ascend their candidate pools: the *sequence* must match
+    # (the mining-digest invariant), and the set must equal the reference's.
+    assert kernel_free == scalar_free, (
+        "kernel parity FAILED: vectorized free search diverged from the "
+        "scalar CSR sequence"
+    )
+    digest = matcher_digest(ref_free)
+    assert matcher_digest(kernel_free) == digest, (
+        "kernel parity FAILED: vectorized free search diverged from the "
+        "reference set"
+    )
+    assert_free_search_gate(profile, kernel_seconds, ref_seconds)
+    print(
+        f"free search: reference {ref_seconds:.4f}s, scalar csr "
+        f"{scalar_seconds:.4f}s, vectorized csr {kernel_seconds:.4f}s "
+        f"({len(kernel_free)} embeddings)",
+        flush=True,
+    )
+
+    # ---- per-kernel micro-timings on inputs lifted from that workload ----
+    offsets, neighbors, label_ids = frozen.csr_numpy()
+    offsets_list = list(frozen.offsets)
+    neighbors_list = list(frozen.neighbor_indices)
+    labels_list = list(frozen.label_ids)
+
+    def row(u):
+        return neighbors_list[offsets_list[u]:offsets_list[u + 1]]
+
+    def timed(fn):
+        seconds = []
+        result = None
+        for _ in range(TIMING_REPEATS):
+            start = time.perf_counter()
+            result = fn()
+            seconds.append(time.perf_counter() - start)
+        return min(seconds), result
+
+    micro = {}
+
+    def record(name, work, numpy_fn, scalar_fn, check):
+        numpy_seconds, numpy_result = timed(numpy_fn)
+        scalar_seconds, scalar_result = timed(scalar_fn)
+        assert check(numpy_result, scalar_result), (
+            f"kernel parity FAILED: {name} diverged from its scalar reference"
+        )
+        micro[name] = {
+            "work": work,
+            "numpy_seconds": round(numpy_seconds, 6),
+            "scalar_seconds": round(scalar_seconds, 6),
+            "speedup": round(scalar_seconds / max(numpy_seconds, 1e-9), 2),
+        }
+        print(
+            f"{name}: numpy {numpy_seconds * 1000:.2f}ms vs scalar "
+            f"{scalar_seconds * 1000:.2f}ms ({micro[name]['speedup']}x)",
+            flush=True,
+        )
+
+    lid_a = frozen.label_table.index("A")
+    lid_b = frozen.label_table.index("B")
+    dense = frozen.label_members_np("A")
+    rare = frozen.label_members_np("B")
+
+    # seed filter: pattern vertex 1 needs degree ≥ 2, one A and one B neighbor.
+    needed = [(lid_a, 1), (lid_b, 1)]
+
+    def seed_scalar():
+        kept = []
+        for m in dense.tolist():
+            nbrs = row(m)
+            if len(nbrs) < 2:
+                continue
+            counts = Counter(labels_list[x] for x in nbrs)
+            if all(counts.get(lid, 0) >= c for lid, c in needed):
+                kept.append(m)
+        return kept
+
+    record(
+        "seed_domain",
+        {"members": int(dense.size)},
+        lambda: kernels.seed_domain(dense, 2, needed, offsets, neighbors, label_ids),
+        seed_scalar,
+        lambda a, b: a.tolist() == b,
+    )
+
+    dom_mid = kernels.seed_domain(dense, 2, needed, offsets, neighbors, label_ids)
+    dom_rare = rare
+
+    def ac_scalar():
+        rare_list = dom_rare.tolist()
+        kept = []
+        for m in dom_mid.tolist():
+            for x in row(m):
+                j = bisect_left(rare_list, x)
+                if j < len(rare_list) and rare_list[j] == x:
+                    kept.append(m)
+                    break
+        return kept
+
+    record(
+        "ac_filter",
+        {"dom_a": int(dom_mid.size), "dom_b": int(dom_rare.size)},
+        lambda: kernels.ac_filter(dom_mid, dom_rare, offsets, neighbors),
+        ac_scalar,
+        lambda a, b: a.tolist() == b,
+    )
+
+    probe_rows = [np.asarray(row(m), dtype=np.int64) for m in dom_mid.tolist()[:512]]
+
+    def intersect_scalar():
+        dense_list = dense.tolist()
+        out = 0
+        for arr in probe_rows:
+            for x in arr.tolist():
+                j = bisect_left(dense_list, x)
+                if j < len(dense_list) and dense_list[j] == x:
+                    out += 1
+        return out
+
+    record(
+        "intersect_sorted",
+        {"rows": len(probe_rows)},
+        lambda: sum(
+            int(kernels.intersect_sorted(arr, dense).size) for arr in probe_rows
+        ),
+        intersect_scalar,
+        lambda a, b: a == b,
+    )
+
+    def filter_rows_scalar():
+        allowed = set(dense.tolist())
+        flat = []
+        bounds = [0]
+        for m in dom_mid.tolist():
+            flat.extend(x for x in row(m) if x in allowed)
+            bounds.append(len(flat))
+        return flat, bounds
+
+    record(
+        "filter_rows",
+        {"members": int(dom_mid.size)},
+        lambda: kernels.filter_rows(dom_mid, dense, offsets, neighbors),
+        filter_rows_scalar,
+        lambda a, b: a[0].tolist() == b[0] and a[1].tolist() == b[1],
+    )
+
+    index = EmbeddingIndex(
+        vertex_images=[frozenset(m.values()) for m in kernel_free]
+    )
+    postings = list(index.vertex_map.values())
+
+    def merge_scalar():
+        pairs = set()
+        for ids in postings:
+            for a in range(1, len(ids)):
+                for b in range(a):
+                    pairs.add((ids[b], ids[a]))
+        return pairs
+
+    record(
+        "merge_postings",
+        {"postings": len(postings), "ids": len(kernel_free)},
+        lambda: kernels.merge_postings(postings, len(kernel_free)),
+        merge_scalar,
+        lambda a, b: set(zip(a[0].tolist(), a[1].tolist())) == b,
+    )
+
+    payload = {
+        "benchmark": "kernels_perf_smoke",
+        "profile": profile,
+        "graph": {
+            "model": "erdos_renyi",
+            "num_vertices": num_vertices,
+            "num_edges": graph.num_edges,
+            "average_degree": 4.0,
+            "labels": {"A": len(graph.vertices_with_label("A")),
+                       "B": len(graph.vertices_with_label("B"))},
+            "seed": SEED,
+        },
+        "pattern": "two-edge path A-A-B (head in the dense class)",
+        "timing_repeats": TIMING_REPEATS,
+        "free_search": {
+            "reference_seconds": round(ref_seconds, 4),
+            "scalar_csr_seconds": round(scalar_seconds, 4),
+            "vectorized_csr_seconds": round(kernel_seconds, 4),
+            "num_embeddings": len(kernel_free),
+            "parity_digest": digest,
+        },
+        "kernels": micro,
+        "note": (
+            "end-to-end free search (best-of minima) across the reference "
+            "engine, the scalar-fallback CSR path and the vectorized CSR "
+            "path — sequence/digest parity asserted, vectorized ≤ reference "
+            "gated; micro rows compare each kernel against a naive scalar "
+            "reference on inputs lifted from the same dense-class workload, "
+            "output-parity-checked before the clock is trusted; per-call "
+            "kernels (intersect_sorted) can lose on tiny CSR rows — numpy "
+            "call overhead dwarfs four-element intersections — which is "
+            "exactly why the matcher batches that work through filter_rows "
+            "at domain-build time instead of intersecting inside the search "
+            "loop"
+        ),
+    }
+    KERNELS_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # Reached only when every parity assert above passed.
+    print(
+        f"kernel parity: ok (digest {digest}, vectorized free search "
+        f"{ref_seconds / max(kernel_seconds, 1e-9):.2f}x reference) — "
+        f"written to {KERNELS_RESULT_PATH.name}"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -625,6 +941,11 @@ def main(argv=None) -> int:
         "--skip-matcher",
         action="store_true",
         help="skip the matcher suite (BENCH_matcher.json untouched)",
+    )
+    parser.add_argument(
+        "--skip-kernels",
+        action="store_true",
+        help="skip the kernels suite (BENCH_kernels.json untouched)",
     )
     args = parser.parse_args(argv)
     profile = "quick" if args.quick else "full"
@@ -662,6 +983,8 @@ def main(argv=None) -> int:
         run_overlap_suite(profile)
     if not args.skip_matcher:
         run_matcher_suite(profile)
+    if not args.skip_kernels:
+        run_kernels_suite(profile)
     return 0
 
 

@@ -12,7 +12,10 @@ Public surface:
   :func:`find_anchored_embeddings`, :func:`are_isomorphic`,
   :func:`matcher_digest` — the cross-backend parity fingerprint;
 * random graph models and the paper's synthetic injection recipe;
-* plain-text / JSON I/O.
+* plain-text / JSON I/O;
+* :mod:`~repro.graph.kernels` — optional numpy kernels behind the CSR hot
+  paths (domain seeding, arc consistency, row intersection, posting merge),
+  with scalar fallbacks everywhere they are dispatched.
 """
 
 from .labeled_graph import GraphError, LabeledGraph, graph_from_edges, normalise_edge
@@ -62,6 +65,7 @@ from .generators import (
     synthetic_single_graph,
 )
 from . import io
+from . import kernels
 
 __all__ = [
     "GraphError",

@@ -69,6 +69,8 @@ class FrozenGraph:
         "_label_sets",
         "_neighbor_sets",
         "_label_map",
+        "_np_views",
+        "_np_members",
     )
 
     def __init__(self, source: GraphView) -> None:
@@ -130,6 +132,8 @@ class FrozenGraph:
         self._label_sets: Dict[int, FrozenSet[Vertex]] = {}
         self._neighbor_sets: Dict[int, FrozenSet[Vertex]] = {}
         self._label_map: Optional[Dict[Vertex, Label]] = None
+        self._np_views = None
+        self._np_members: Dict[int, object] = {}
 
     # ------------------------------------------------------------------ #
     # immutability
@@ -163,14 +167,16 @@ class FrozenGraph:
     ) -> "FrozenGraph":
         """Rebuild a snapshot from its constituent arrays without re-deriving CSR.
 
-        The array arguments may be ``array.array`` instances or any typed
-        buffer with the same read surface (``memoryview.cast`` views over a
-        ``multiprocessing.shared_memory`` segment, which is how worker
-        processes re-attach a shared data graph without pickling it — see
-        :mod:`repro.parallel.shared_graph`).  Only the derived index
-        structures (vertex index, label lookup, label membership rows) are
-        rebuilt; the heavy CSR payload is used as-is, so a shared-memory
-        attach is O(|V|) and copies none of the adjacency.
+        The array arguments may be ``array.array`` instances, ``numpy``
+        ndarrays, or any typed buffer with the same read surface
+        (``memoryview.cast`` views over a ``multiprocessing.shared_memory``
+        segment, which is how worker processes re-attach a shared data graph
+        without pickling it — see :mod:`repro.parallel.shared_graph`; numpy
+        views over the same buffers let workers run the vectorized kernels
+        without copying).  Only the derived index structures (vertex index,
+        label lookup, label membership rows) are rebuilt; the heavy CSR
+        payload is used as-is, so a shared-memory attach is O(|V|) and copies
+        none of the adjacency.
         """
         self = cls.__new__(cls)
         n = len(ids)
@@ -183,8 +189,11 @@ class FrozenGraph:
             raise GraphError("duplicate vertex identifiers in source arrays")
         typecode = _index_typecode(n)
         label_members: Dict[int, array] = {lid: array(typecode) for lid in range(len(label_table))}
+        # ndarray element access returns numpy scalars; one bulk tolist()
+        # keeps the membership build (and later dict lookups) on plain ints.
+        lid_sequence = label_ids.tolist() if hasattr(label_ids, "tolist") else label_ids
         for i in range(n):
-            label_members[label_ids[i]].append(i)
+            label_members[lid_sequence[i]].append(i)
         self._ids = tuple(ids)
         self._index = index
         self._label_table = tuple(label_table)
@@ -200,6 +209,8 @@ class FrozenGraph:
         self._label_sets = {}
         self._neighbor_sets = {}
         self._label_map = None
+        self._np_views = None
+        self._np_members = {}
         return self
 
     # ------------------------------------------------------------------ #
@@ -253,6 +264,41 @@ class FrozenGraph:
         if lid is None:
             return ()
         return self._label_members[lid]
+
+    def csr_numpy(self):
+        """``(offsets, neighbor_indices, label_ids)`` as zero-copy numpy views.
+
+        The views are created once (``np.frombuffer`` over the existing
+        buffers — ``array.array``, shared-memory ``memoryview`` and ndarray
+        inputs all map without copying) and memoised; treat them as
+        read-only.  This is the array surface the vectorized kernels
+        (:mod:`repro.graph.kernels`) operate on.  Raises ``RuntimeError``
+        when numpy is unavailable — callers gate on
+        :func:`repro.graph.kernels.numpy_available`.
+        """
+        if self._np_views is None:
+            from .kernels import as_index_array
+
+            self._np_views = (
+                as_index_array(self._offsets),
+                as_index_array(self._neighbors),
+                as_index_array(self._label_ids),
+            )
+        return self._np_views
+
+    def label_members_np(self, label: Label):
+        """Ascending member indices of ``label`` as a zero-copy numpy view,
+        or ``None`` when no vertex carries the label."""
+        lid = self.label_id(label)
+        if lid is None:
+            return None
+        view = self._np_members.get(lid)
+        if view is None:
+            from .kernels import as_index_array
+
+            view = as_index_array(self._label_members[lid])
+            self._np_members[lid] = view
+        return view
 
     def index_of(self, vertex: Vertex) -> int:
         """Dense index of ``vertex``; raises :class:`GraphError` if absent."""

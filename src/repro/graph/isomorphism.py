@@ -29,6 +29,20 @@ Two search paths share the domains:
   domains).  Because domain filtering is pruning-only, the dict path yields
   exactly the embedding *sequence* the matcher always produced.
 
+When numpy is importable (:func:`repro.graph.kernels.numpy_available`) the
+CSR path additionally runs **vectorized**: domains are seeded and
+arc-consistency-refined by whole-label-class array kernels instead of
+per-vertex ``Counter`` scans, and before searching, each directed pattern
+edge ``(q, p)`` gets a precomputed **candidate adjacency** — every domain
+member of ``q``'s neighbor row intersected with ``p``'s domain in one bulk
+:func:`~repro.graph.kernels.filter_rows` pass — so the per-node inner loop
+walks short pre-filtered Python lists with no label/domain probes at all.
+Candidate pools keep ascending index order, which is exactly the scalar
+enumeration order, so the kernel path yields the same embedding *sequence*
+as the scalar CSR path (digest-pinned in ``tests/test_kernels.py``).  The
+scalar CSR code is retained verbatim below as the fallback when numpy is
+absent (:func:`~repro.graph.kernels.scalar_fallback` forces it for tests).
+
 The two paths are pinned together by :func:`matcher_digest` — a canonical,
 order-insensitive fingerprint of an embedding collection (the analogue of the
 overlap engine's ``conflict_digest``): for any (pattern, target) pair the
@@ -71,6 +85,7 @@ from typing import (
     Tuple,
 )
 
+from . import kernels
 from .frozen import FrozenGraph
 from .labeled_graph import LabeledGraph, Vertex, normalise_edge
 from .view import GraphView
@@ -84,7 +99,11 @@ class MatcherStats:
 
     #: candidates that reached the per-candidate feasibility check
     candidate_tests: int = 0
-    #: candidates rejected by domain membership before any feasibility work
+    #: candidates rejected by domain membership before any feasibility work.
+    #: On the vectorized kernel path these are counted once per
+    #: (pattern edge, neighbor row) when the candidate adjacency is built,
+    #: not once per search visit, so anchored batches report fewer prunes
+    #: than the scalar path for the same pruning power.
     domain_prunes: int = 0
     #: label-scan candidate pools used mid-search (a vertex with no mapped
     #: neighbor after the first of its component — 0 for connected patterns
@@ -119,6 +138,9 @@ class SubgraphMatcher:
         self._csr: Optional[FrozenGraph] = (
             target if isinstance(target, FrozenGraph) else None
         )
+        # Dispatch between the vectorized and the scalar CSR engines is
+        # captured once at construction so one matcher never mixes paths.
+        self._use_kernels = self._csr is not None and kernels.numpy_available()
         self._order = self._matching_order()
         # Lazily built domain state.  ``_domains_ready`` distinguishes "not
         # built yet" from "built and proven empty" (``_domains is None``).
@@ -126,6 +148,13 @@ class SubgraphMatcher:
         self._domains: Optional[Dict[Vertex, Set[Vertex]]] = None          # dict path
         self._domains_ix: Optional[Dict[Vertex, List[int]]] = None         # csr path
         self._domain_sets_ix: Optional[Dict[Vertex, Set[int]]] = None      # csr path
+        self._domains_np: Optional[Dict[Vertex, object]] = None            # kernel path
+        # Kernel-path memos: per directed pattern edge (q, p) the
+        # domain-filtered candidate adjacency, per pattern vertex the
+        # index-of-domain-member map, per matching order the search context.
+        self._cand_adj: Dict[Tuple[Vertex, Vertex], tuple] = {}
+        self._domain_pos: Dict[Vertex, Dict[int, int]] = {}
+        self._search_contexts: Dict[Tuple[Vertex, ...], tuple] = {}
 
     # ------------------------------------------------------------------ #
     # public API
@@ -246,6 +275,8 @@ class SubgraphMatcher:
         self, order: Sequence[Vertex], anchor: Optional[Tuple[Vertex, Vertex]]
     ) -> Iterator[Mapping]:
         self.stats.searches += 1
+        if self._use_kernels:
+            return self._search_csr_kernels(order, anchor)
         if self._csr is not None:
             return self._search_csr(order, anchor)
         return self._search_dict(order, anchor)
@@ -321,7 +352,9 @@ class SubgraphMatcher:
         """Build the candidate domains once; False ⇒ some domain is empty."""
         if not self._domains_ready:
             self._domains_ready = True
-            if self._csr is not None:
+            if self._use_kernels:
+                self._build_domains_csr_numpy()
+            elif self._csr is not None:
                 self._build_domains_csr()
             else:
                 self._build_domains_dict()
@@ -439,6 +472,88 @@ class SubgraphMatcher:
                 domains[a] = kept
         self._domains_ix = domains
         self._domain_sets_ix = {p: set(dom) for p, dom in domains.items()}
+
+    def _build_domains_csr_numpy(self) -> None:
+        """Vectorized domain seeding + arc consistency (same sets as scalar).
+
+        Each pattern vertex's whole label class is filtered in one
+        :func:`~repro.graph.kernels.seed_domain` call (degree + neighbor-label
+        signature over gathered rows), and each arc-consistency direction is
+        one :func:`~repro.graph.kernels.ac_filter` call.  Domains stay sorted
+        ascending throughout, exactly like the scalar build, so every
+        downstream consumer (search order, anchored iteration, digests) is
+        unchanged.
+        """
+        g = self._csr
+        assert g is not None
+        offsets_np, nbrs_np, lids_np = g.csr_numpy()
+
+        domains: Dict[Vertex, object] = {}
+        for p, label, degree, needed in self._pattern_requirements():
+            needed_ix = []
+            feasible = True
+            for lbl, cnt in needed.items():
+                lid = g.label_id(lbl)
+                if lid is None:
+                    feasible = False
+                    break
+                needed_ix.append((lid, cnt))
+            if not feasible:
+                return
+            members = g.label_members_np(label)
+            if members is None or len(members) == 0:
+                return
+            domain = kernels.seed_domain(
+                members, degree, needed_ix, offsets_np, nbrs_np, lids_np
+            )
+            if domain.size == 0:
+                return
+            domains[p] = domain
+
+        for u, v in self._ac_edges():
+            for a, b in ((u, v), (v, u)):
+                kept = kernels.ac_filter(domains[a], domains[b], offsets_np, nbrs_np)
+                if kept.size == 0:
+                    return
+                domains[a] = kept
+        self._domains_np = domains
+        self._domains_ix = {p: dom.tolist() for p, dom in domains.items()}
+        self._domain_sets_ix = {p: set(dom) for p, dom in self._domains_ix.items()}
+
+    def _domain_position(self, p_vertex: Vertex) -> Dict[int, int]:
+        """dense index → position inside ``p_vertex``'s sorted domain (memoised)."""
+        pos = self._domain_pos.get(p_vertex)
+        if pos is None:
+            assert self._domains_ix is not None
+            pos = {t: i for i, t in enumerate(self._domains_ix[p_vertex])}
+            self._domain_pos[p_vertex] = pos
+        return pos
+
+    def _candidate_adjacency(self, q: Vertex, p: Vertex) -> tuple:
+        """Domain-filtered neighbor rows for the directed pattern edge (q, p).
+
+        ``(flat, bounds, pos)``: the candidates for ``p`` given that ``q`` is
+        mapped to domain member ``t`` are ``flat[bounds[k]:bounds[k+1]]`` with
+        ``k = pos[t]`` — ``q``'s neighbor row intersected with ``p``'s domain,
+        ascending.  Built once per matcher in one bulk
+        :func:`~repro.graph.kernels.filter_rows` pass and converted to plain
+        Python lists so the search inner loop stays allocation-free; row
+        entries dropped here are the per-visit domain/label probes the scalar
+        search no longer pays (counted once as ``domain_prunes``).
+        """
+        key = (q, p)
+        cached = self._cand_adj.get(key)
+        if cached is None:
+            g = self._csr
+            assert g is not None and self._domains_np is not None
+            offsets_np, nbrs_np, _ = g.csr_numpy()
+            flat, bounds, dropped = kernels.filter_rows(
+                self._domains_np[q], self._domains_np[p], offsets_np, nbrs_np
+            )
+            self.stats.domain_prunes += dropped
+            cached = (flat.tolist(), bounds.tolist(), self._domain_position(q))
+            self._cand_adj[key] = cached
+        return cached
 
     def _has_neighbor_in_csr(
         self, t: int, domain: List[int], domain_set: Set[int]
@@ -690,6 +805,154 @@ class SubgraphMatcher:
                     yield from search(i + 1)
                     del mapping_ix[p]
                     used.discard(candidate)
+
+        yield from search(start_index)
+
+    # ------------------------------------------------------------------ #
+    # CSR kernel search (the vectorized default when numpy is available)
+    # ------------------------------------------------------------------ #
+    def _search_context(self, order: Sequence[Vertex]) -> tuple:
+        """Per-matching-order search structures, built once per order.
+
+        The scalar path rebuilds these on every ``_run_search`` call — cheap
+        for one free search, but an anchored batch issues one search per
+        anchor, so the kernel path memoises by order.  For every position
+        with mapped pattern neighbors the context also pins the **base**
+        neighbor (the one whose candidate-adjacency rows are walked; the
+        others are only probed), chosen as the earlier-mapped neighbor whose
+        filtered adjacency is smallest overall.
+        """
+        key = tuple(order)
+        context = self._search_contexts.get(key)
+        if context is not None:
+            return context
+        pattern = self.pattern
+        position = {p: i for i, p in enumerate(order)}
+        earlier_neighbors: List[List[Vertex]] = []
+        earlier_others: List[List[Vertex]] = []
+        base_adj: List[Optional[tuple]] = []
+        other_adj: List[List[tuple]] = []
+        for i, p in enumerate(order):
+            nbrs_p = pattern.neighbors(p)
+            mapped = [q for q in nbrs_p if position[q] < i]
+            earlier_neighbors.append(mapped)
+            if self.induced:
+                earlier_others.append(
+                    [order[j] for j in range(i) if order[j] not in nbrs_p]
+                )
+            else:
+                earlier_others.append([])
+            if mapped:
+                adjacencies = [(self._candidate_adjacency(q, p), q) for q in mapped]
+                # Walk the base with the fewest total filtered entries; the
+                # rest are membership probes, so their size barely matters.
+                adjacencies.sort(key=lambda a: a[0][1][-1])
+                base_adj.append(adjacencies[0])
+                other_adj.append(adjacencies[1:])
+            else:
+                base_adj.append(None)
+                other_adj.append([])
+        context = (earlier_neighbors, earlier_others, base_adj, other_adj)
+        self._search_contexts[key] = context
+        return context
+
+    def _search_csr_kernels(
+        self, order: Sequence[Vertex], anchor: Optional[Tuple[Vertex, Vertex]]
+    ) -> Iterator[Mapping]:
+        """Index-space search over precomputed candidate adjacencies.
+
+        Same enumeration sequence as :meth:`_search_csr` (candidate pools are
+        ascending row intersections either way); the per-node work drops to a
+        bounds lookup plus a used-check because label and domain filtering
+        already happened in bulk.  The deepest pattern vertex is emitted
+        inline — one dict copy per embedding instead of one generator frame.
+        """
+        g = self._csr
+        assert g is not None and self._domains_ix is not None
+        stats = self.stats
+        offsets = g.offsets
+        nbrs = g.neighbor_indices
+        ids = g.vertex_ids
+        earlier_neighbors, earlier_others, base_adj, other_adj = (
+            self._search_context(order)
+        )
+
+        n_p = len(order)
+        mapping_ix: Dict[Vertex, int] = {}
+        used: Set[int] = set()
+        start_index = 0
+        if anchor is not None:
+            p_anchor, t_anchor = anchor
+            anchor_ix = g.index_of(t_anchor)
+            mapping_ix[p_anchor] = anchor_ix
+            used.add(anchor_ix)
+            start_index = 1
+
+        def row_contains(lo: int, hi: int, value: int) -> bool:
+            j = bisect_left(nbrs, value, lo, hi)
+            return j < hi and nbrs[j] == value
+
+        def induced_ok(i: int, candidate: int) -> bool:
+            row_lo, row_hi = offsets[candidate], offsets[candidate + 1]
+            for q in earlier_others[i]:
+                if row_contains(row_lo, row_hi, mapping_ix[q]):
+                    return False
+            return True
+
+        induced = self.induced
+
+        def pool(i: int) -> Iterable[int]:
+            """Ascending candidates for position ``i`` (pre-filtered rows)."""
+            base = base_adj[i]
+            if base is None:
+                if mapping_ix:
+                    stats.pool_fallbacks += 1
+                return self._domains_ix[order[i]]
+            (flat, bounds, pos), q0 = base
+            k = pos[mapping_ix[q0]]
+            candidates = flat[bounds[k]:bounds[k + 1]]
+            for (o_flat, o_bounds, o_pos), q in other_adj[i]:
+                if not candidates:
+                    break
+                ok = o_pos[mapping_ix[q]]
+                o_lo, o_hi = o_bounds[ok], o_bounds[ok + 1]
+                candidates = [
+                    c
+                    for c in candidates
+                    if (j := bisect_left(o_flat, c, o_lo, o_hi)) < o_hi
+                    and o_flat[j] == c
+                ]
+            return candidates
+
+        def search(i: int) -> Iterator[Mapping]:
+            if i == n_p:  # fully anchored single-vertex pattern
+                yield {p: ids[t] for p, t in mapping_ix.items()}
+                return
+            p = order[i]
+            if i == n_p - 1:
+                # Leaf level: emit embeddings inline, one dict copy each.
+                prefix = {pp: ids[tt] for pp, tt in mapping_ix.items()}
+                for candidate in pool(i):
+                    if candidate in used:
+                        continue
+                    stats.candidate_tests += 1
+                    if induced and not induced_ok(i, candidate):
+                        continue
+                    mapping = dict(prefix)
+                    mapping[p] = ids[candidate]
+                    yield mapping
+                return
+            for candidate in pool(i):
+                if candidate in used:
+                    continue
+                stats.candidate_tests += 1
+                if induced and not induced_ok(i, candidate):
+                    continue
+                mapping_ix[p] = candidate
+                used.add(candidate)
+                yield from search(i + 1)
+                del mapping_ix[p]
+                used.discard(candidate)
 
         yield from search(start_index)
 

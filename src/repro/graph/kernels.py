@@ -1,0 +1,288 @@
+"""Vectorized numpy kernels over the CSR int-index world.
+
+The candidate-domain matcher (:mod:`repro.graph.isomorphism`) and the overlap
+engine (:mod:`repro.patterns.overlap`) already do all of their hot-loop work
+on dense integer indices — sorted CSR neighbor rows, sorted candidate
+domains, integer embedding ids.  What they paid for until this module existed
+was the *per-element* cost of driving those loops from Python: one
+``Counter`` per scanned vertex at domain-seed time, one ``bisect`` call per
+arc-consistency probe, one nested loop iteration per posting pair.  The
+asymptotics were right (BENCH_matcher.json shows ~99% of candidate tests
+pruned) but the constant factor lost free-search wall-clock to the
+pre-domain reference engine.
+
+This module batches exactly those loops into numpy:
+
+* :func:`seed_domain` — label/degree/neighbor-signature filtering over a
+  whole label-member row at once (replaces the per-vertex ``Counter`` scan in
+  ``SubgraphMatcher._build_domains_csr``);
+* :func:`ac_filter` — one arc-consistency sweep direction as a gather +
+  ``searchsorted`` membership + segmented any-reduction (replaces
+  ``_has_neighbor_in_csr``'s per-element bisects);
+* :func:`in_sorted` / :func:`intersect_sorted` — galloping ``searchsorted``
+  membership and intersection of sorted index arrays (candidate-pool
+  intersections mid-search);
+* :func:`filter_rows` — bulk "neighbors ∩ sorted domain" over many CSR rows
+  in one pass, the precompute behind the matcher's per-pattern-edge candidate
+  adjacency;
+* :func:`merge_postings` — bulk conflict-pair emission from posting lists
+  (replaces the nested posting loops in ``EmbeddingIndex.conflict_graph``).
+
+Every kernel is **pure**: arrays in, arrays out, no graph objects.  Callers
+keep their scalar implementations and dispatch on :func:`numpy_available`, so
+numpy stays an optional-but-default dependency — the package imports and
+mines without it, just slower.  Parity between the two paths is pinned by the
+digest machinery (``matcher_digest`` / ``conflict_digest``) in
+``tests/test_kernels.py`` and the perf-smoke kernels suite.
+
+Zero-copy contract: :func:`as_index_array` wraps ``array.array``, typed
+``memoryview`` (the shared-memory attach path) and ``np.ndarray`` buffers
+without copying, so a worker process running these kernels over an attached
+:class:`~repro.graph.frozen.FrozenGraph` still shares the creator's pages.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the scalar-fallback environment
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "numpy_available",
+    "scalar_fallback",
+    "as_index_array",
+    "seed_domain",
+    "ac_filter",
+    "in_sorted",
+    "intersect_sorted",
+    "filter_rows",
+    "merge_postings",
+]
+
+#: Whether numpy could be imported at all (the hard capability bound).
+HAVE_NUMPY = _np is not None
+
+#: Test/debug override: when True the kernels report unavailable even though
+#: numpy is importable, forcing every caller onto its scalar path.
+_FORCED_SCALAR = False
+
+
+def numpy_available() -> bool:
+    """Whether callers should dispatch onto the numpy kernels."""
+    return HAVE_NUMPY and not _FORCED_SCALAR
+
+
+@contextmanager
+def scalar_fallback():
+    """Force :func:`numpy_available` to ``False`` inside the block.
+
+    The parity tests run every engine once per path and compare digests;
+    production code never needs this.  Callers that capture the dispatch
+    decision at construction time (the matcher does) must be *constructed*
+    inside the block.
+    """
+    global _FORCED_SCALAR
+    previous = _FORCED_SCALAR
+    _FORCED_SCALAR = True
+    try:
+        yield
+    finally:
+        _FORCED_SCALAR = previous
+
+
+# --------------------------------------------------------------------------- #
+# zero-copy buffer adaptation
+# --------------------------------------------------------------------------- #
+def as_index_array(buffer):
+    """A 1-D integer ndarray view of ``buffer`` without copying.
+
+    Accepts ``array.array``, typed ``memoryview`` (what shared-memory workers
+    attach), and ``np.ndarray``.  All three expose the buffer protocol, so
+    ``np.frombuffer`` maps the existing bytes; the caller must treat the
+    result as read-only (the CSR payload is immutable by contract).
+    """
+    if _np is None:
+        raise RuntimeError("numpy is not available")
+    if isinstance(buffer, _np.ndarray):
+        return buffer
+    typecode = getattr(buffer, "typecode", None) or buffer.format
+    return _np.frombuffer(buffer, dtype=_np.dtype(typecode))
+
+
+def _gather_rows(members, offsets, neighbors):
+    """Concatenated CSR rows of ``members``: (flat values, per-member counts).
+
+    ``flat`` holds ``neighbors[offsets[m]:offsets[m+1]]`` for each member in
+    order; ``counts[i]`` is the degree of ``members[i]``.  The classic
+    repeat/cumsum gather — one vectorized pass, no per-row Python loop.
+    """
+    starts = offsets[members]
+    counts = (offsets[members + 1] - starts).astype(_np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return _np.empty(0, dtype=_np.int64), counts
+    # Flat position k belongs to member i; its in-row offset is k minus the
+    # exclusive prefix sum of counts, shifted to that member's row start.
+    ends = _np.cumsum(counts)
+    row_origin = _np.repeat(starts.astype(_np.int64) - (ends - counts), counts)
+    gather = row_origin + _np.arange(total, dtype=_np.int64)
+    return _np.asarray(neighbors)[gather].astype(_np.int64, copy=False), counts
+
+
+def _segment_counts(mask, counts):
+    """Per-segment popcount of ``mask`` under segment lengths ``counts``."""
+    sums = _np.zeros(len(counts), dtype=_np.int64)
+    nonempty = counts > 0
+    if mask.size:
+        boundaries = _np.cumsum(counts) - counts  # inclusive segment starts
+        sums[nonempty] = _np.add.reduceat(
+            mask.astype(_np.int64), boundaries[nonempty]
+        )
+    return sums
+
+
+# --------------------------------------------------------------------------- #
+# matcher kernels
+# --------------------------------------------------------------------------- #
+def seed_domain(members, min_degree, needed, offsets, neighbors, label_ids):
+    """Domain seeding for one pattern vertex, vectorized over a label class.
+
+    ``members`` are the (ascending) dense indices of the target vertices with
+    the pattern vertex's label; survivors must have degree ≥ ``min_degree``
+    and, for every ``(label_id, count)`` in ``needed`` (the pattern vertex's
+    neighbor-label multiset), at least ``count`` neighbors carrying that
+    label.  Returns the surviving members, still ascending — the exact set
+    the scalar per-vertex Counter scan keeps.
+    """
+    members = _np.asarray(members, dtype=_np.int64)
+    if members.size == 0:
+        return members
+    offsets = as_index_array(offsets)
+    degrees = offsets[members + 1] - offsets[members]
+    members = members[degrees >= min_degree]
+    if not needed or members.size == 0:
+        return members
+    flat, counts = _gather_rows(members, offsets, as_index_array(neighbors))
+    flat_labels = as_index_array(label_ids)[flat]
+    keep = _np.ones(members.size, dtype=bool)
+    for lid, required in needed:
+        keep &= _segment_counts(flat_labels == lid, counts) >= required
+        if not keep.any():
+            break
+    return members[keep]
+
+
+def ac_filter(dom_a, dom_b, offsets, neighbors):
+    """One arc-consistency direction: members of ``dom_a`` with a neighbor in
+    ``dom_b`` (both sorted ascending).  Replaces the per-member bisect probes
+    of the scalar sweep with one gather + membership + segmented reduction.
+    """
+    dom_a = _np.asarray(dom_a, dtype=_np.int64)
+    dom_b = _np.asarray(dom_b, dtype=_np.int64)
+    if dom_a.size == 0 or dom_b.size == 0:
+        return dom_a[:0]
+    flat, counts = _gather_rows(dom_a, as_index_array(offsets), as_index_array(neighbors))
+    hits = _segment_counts(in_sorted(dom_b, flat), counts)
+    return dom_a[hits > 0]
+
+
+def in_sorted(sorted_values, queries):
+    """Boolean membership of ``queries`` in the sorted array ``sorted_values``."""
+    sorted_values = _np.asarray(sorted_values)
+    queries = _np.asarray(queries)
+    if sorted_values.size == 0:
+        return _np.zeros(queries.shape, dtype=bool)
+    positions = _np.searchsorted(sorted_values, queries)
+    positions[positions == sorted_values.size] = sorted_values.size - 1
+    return sorted_values[positions] == queries
+
+
+def intersect_sorted(base, *others):
+    """Intersection of sorted index arrays, ascending (galloping membership).
+
+    The result preserves ``base``'s order, which is ascending for CSR rows —
+    exactly the enumeration order of the scalar shortest-row-with-bisects
+    pool, so search sequences are unchanged when this kernel drives them.
+    """
+    result = _np.asarray(base)
+    for other in others:
+        if result.size == 0:
+            break
+        result = result[in_sorted(_np.asarray(other), result)]
+    return result
+
+
+def filter_rows(members, allowed, offsets, neighbors):
+    """Bulk ``row(m) ∩ allowed`` for every ``m`` in ``members``.
+
+    ``allowed`` must be sorted ascending.  Returns ``(flat, bounds)`` where
+    the kept neighbors of ``members[i]`` are ``flat[bounds[i]:bounds[i+1]]``
+    (each segment ascending), plus the number of row entries dropped.  This
+    is the precompute behind the matcher's candidate adjacency: one pass over
+    all rows replaces a per-visit membership probe during search.
+    """
+    members = _np.asarray(members, dtype=_np.int64)
+    allowed = _np.asarray(allowed, dtype=_np.int64)
+    flat, counts = _gather_rows(members, as_index_array(offsets), as_index_array(neighbors))
+    if flat.size == 0:
+        bounds = _np.zeros(members.size + 1, dtype=_np.int64)
+        return flat, bounds, 0
+    mask = in_sorted(allowed, flat)
+    kept = _segment_counts(mask, counts)
+    bounds = _np.concatenate(([0], _np.cumsum(kept)))
+    return flat[mask], bounds, int(flat.size - int(kept.sum()))
+
+
+# --------------------------------------------------------------------------- #
+# overlap kernels
+# --------------------------------------------------------------------------- #
+#: Posting lists longer than this are paired via per-list ``triu_indices``
+#: instead of the shift-by-delta sweep (whose pass count equals the longest
+#: list); below it the sweep touches every list in O(max_len) array passes.
+_SHIFT_SWEEP_MAX_LEN = 64
+
+
+def merge_postings(postings, num_ids):
+    """Unique conflicting id pairs from posting lists, as two int arrays.
+
+    ``postings`` is an iterable of ascending id lists (the inverted-index
+    values); two ids conflict iff they share a list.  Emission is bulk: short
+    lists go through a shift-by-delta sweep over one concatenated array (pass
+    ``d`` pairs every element with the element ``d`` slots later in the same
+    segment), long lists through per-list ``triu_indices``; duplicates across
+    lists collapse via ``np.unique`` on ``a * num_ids + b`` encoded keys.
+    Each returned pair has ``a < b`` (lists ascend), matching the nested-loop
+    scalar construction's edge set exactly.
+    """
+    small_values = []
+    small_lengths = []
+    pair_chunks = []
+    for ids in postings:
+        t = len(ids)
+        if t < 2:
+            continue
+        if t <= _SHIFT_SWEEP_MAX_LEN:
+            small_values.extend(ids)
+            small_lengths.append(t)
+        else:
+            arr = _np.asarray(ids, dtype=_np.int64)
+            ia, ib = _np.triu_indices(t, k=1)
+            pair_chunks.append(arr[ia] * num_ids + arr[ib])
+    if small_lengths:
+        flat = _np.asarray(small_values, dtype=_np.int64)
+        lengths = _np.asarray(small_lengths, dtype=_np.int64)
+        segment = _np.repeat(_np.arange(lengths.size), lengths)
+        for d in range(1, int(lengths.max())):
+            same = segment[:-d] == segment[d:]
+            if not same.any():
+                break
+            pair_chunks.append(flat[:-d][same] * num_ids + flat[d:][same])
+    if not pair_chunks:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty
+    encoded = _np.unique(_np.concatenate(pair_chunks))
+    return encoded // num_ids, encoded % num_ids

@@ -70,13 +70,20 @@ class SharedGraphHandle:
 
 
 def _typecode(arr) -> str:
-    """Element typecode of an ``array.array`` or typed ``memoryview``.
+    """Element typecode of an ``array.array``, typed ``memoryview`` or ndarray.
 
     Lets a graph that was itself attached from shared memory (whose arrays
-    are memoryviews, which expose ``format`` instead of ``typecode``) be
-    re-exported unchanged.
+    are memoryviews, which expose ``format`` instead of ``typecode``) or
+    built over numpy buffers (``dtype.char``, a valid struct format for the
+    integer dtypes the CSR layer uses) be re-exported unchanged.
     """
-    return getattr(arr, "typecode", None) or arr.format
+    typecode = getattr(arr, "typecode", None)
+    if typecode is not None:
+        return typecode
+    dtype = getattr(arr, "dtype", None)
+    if dtype is not None:
+        return dtype.char
+    return arr.format
 
 
 def export_shared_graph(

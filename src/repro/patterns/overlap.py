@@ -43,6 +43,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set
 
+from ..graph import kernels
 from ..graph.algorithms import (
     degeneracy_ordered_independent_set,
     exact_maximum_independent_set,
@@ -53,6 +54,11 @@ from .embedding import Embedding
 #: Largest conflict graph solved with exact branch-and-bound MIS; bigger
 #: instances use the degeneracy-ordered greedy lower bound.
 DEFAULT_EXACT_LIMIT = 18
+
+#: Below this many posting pair touches the scalar nested loops win — the
+#: vectorized merge pays fixed numpy call overhead that only amortises once
+#: the postings actually contain bulk work.
+VECTOR_MERGE_MIN_TOUCHES = 2048
 
 #: node id -> ids it conflicts with (keys are 0..n-1 in insertion order).
 ConflictGraph = Dict[int, Set[int]]
@@ -178,9 +184,29 @@ class EmbeddingIndex:
         Only ids sharing a posting list are ever paired, so disjoint
         embeddings cost nothing beyond their postings.  Equal (same adjacency,
         same 0..n-1 key order) to :meth:`conflict_graph_all_pairs`.
+
+        When numpy is available and the postings carry enough pair work, the
+        pairing runs through :func:`repro.graph.kernels.merge_postings` —
+        bulk emission of unique conflicting pairs from the concatenated
+        posting arrays — instead of the nested per-posting Python loops; the
+        same id pair shared by many keys is then deduplicated once by
+        ``np.unique`` rather than re-touched per key.  Both constructions
+        fill the identical adjacency dict (scalar fallback retained below).
         """
-        conflict: ConflictGraph = {i: set() for i in range(len(self))}
-        for ids in self.postings(edge_based).values():
+        n = len(self)
+        conflict: ConflictGraph = {i: set() for i in range(n)}
+        postings = self.postings(edge_based).values()
+        if kernels.numpy_available() and n >= 2:
+            touches = sum(
+                len(ids) * (len(ids) - 1) // 2 for ids in postings if len(ids) > 1
+            )
+            if touches >= VECTOR_MERGE_MIN_TOUCHES:
+                left, right = kernels.merge_postings(postings, n)
+                for i, j in zip(left.tolist(), right.tolist()):
+                    conflict[i].add(j)
+                    conflict[j].add(i)
+                return conflict
+        for ids in postings:
             if len(ids) < 2:
                 continue
             for a in range(1, len(ids)):

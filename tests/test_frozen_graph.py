@@ -230,3 +230,52 @@ class TestEndpointValidation:
     def test_path_length(self, backend):
         graph = coerce_backend(small_graph(), backend)
         assert shortest_path_length(graph, 0, 3) == 2
+
+
+# ---------------------------------------------------------------------- #
+# numpy CSR interop
+# ---------------------------------------------------------------------- #
+class TestNumpyCsrInterop:
+    """from_csr_arrays accepts ndarray payloads; csr_numpy views are zero-copy."""
+
+    def test_from_csr_arrays_ndarray_round_trip(self):
+        np = pytest.importorskip("numpy")
+        frozen = freeze(small_graph())
+        offsets, neighbors, label_ids = frozen.csr_numpy()
+        rebuilt = FrozenGraph.from_csr_arrays(
+            frozen.vertex_ids,
+            frozen.label_table,
+            np.asarray(label_ids),
+            np.asarray(offsets),
+            np.asarray(neighbors),
+        )
+        assert rebuilt == frozen
+        assert rebuilt.num_edges == frozen.num_edges
+        # Label membership keys stay plain Python ints even when the label-id
+        # payload arrives as an ndarray (np scalars would break dict lookups).
+        for label in frozen.label_table:
+            members = rebuilt.vertices_with_label(label)
+            assert members == frozen.vertices_with_label(label)
+
+    def test_csr_numpy_views_share_payload(self):
+        np = pytest.importorskip("numpy")
+        frozen = freeze(small_graph())
+        offsets, neighbors, label_ids = frozen.csr_numpy()
+        assert isinstance(offsets, np.ndarray)
+        assert offsets.tolist() == list(frozen.offsets)
+        assert neighbors.tolist() == list(frozen.neighbor_indices)
+        assert label_ids.tolist() == list(frozen.label_ids)
+        # Memoised: repeated calls hand back the same views.
+        again = frozen.csr_numpy()
+        assert again[0] is offsets and again[1] is neighbors
+
+    def test_label_members_np(self):
+        np = pytest.importorskip("numpy")
+        frozen = freeze(small_graph())
+        members = frozen.label_members_np("A")
+        assert isinstance(members, np.ndarray)
+        assert members.tolist() == sorted(
+            frozen.index_of(v) for v in frozen.vertices_with_label("A")
+        )
+        assert frozen.label_members_np("Z") is None
+        assert frozen.label_members_np("A") is members  # memoised
