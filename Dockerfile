@@ -1,0 +1,23 @@
+# The catalog serving tier as a container: `repro serve` over a mounted store.
+#
+# Build:  docker build -t spidermine-serve .
+# Run:    docker run --rm -p 8080:8080 -v /path/to/catalog:/catalog:ro spidermine-serve
+#
+# The store is mounted read-only on purpose — the server opens it with
+# repro.api.open_catalog(read_only=True), so stale pattern-index sidecars are
+# rebuilt in memory instead of written back, and the container never needs
+# write access to the volume.
+FROM python:3.12-slim
+
+WORKDIR /app
+
+# Only what `pip install .` needs: package metadata + sources (PAPER.md is
+# the project readme named in pyproject).
+COPY pyproject.toml setup.py PAPER.md ./
+COPY src ./src
+RUN pip install --no-cache-dir .
+
+EXPOSE 8080
+
+# 0.0.0.0: the port must be reachable through Docker's bridge.
+ENTRYPOINT ["repro", "serve", "/catalog", "--host", "0.0.0.0", "--port", "8080"]

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Perf smoke test: graph backends, the parallel engine, the catalog, the
-overlap engine, the candidate-domain subgraph matcher and the vectorized
-numpy kernel layer.
+overlap engine, the candidate-domain subgraph matcher, the vectorized
+numpy kernel layer and the catalog serving tier.
 
-Six measurement suites:
+Seven measurement suites:
 
 * **backend** — dict vs csr on (a) a BFS-distance sweep from a fixed sample
   of sources and (b) a light Stage-I spider-mining pass over one
@@ -51,6 +51,14 @@ Six measurement suites:
   written to ``BENCH_kernels.json``.  Every kernel's output is parity-checked
   before its clock is trusted, and the suite prints ``kernel parity: ok``
   for the CI gate to grep.
+* **serving** — the catalog serving tier: batch containment over the
+  persisted needle-side pattern index vs the pre-index cold path (fresh
+  process per needle, domains re-seeded per (pattern, needle) pair), plus a
+  live ``repro serve`` HTTP round trip whose ``/contains/batch`` response
+  must be byte-identical to serialising the facade's answer; written to
+  ``BENCH_serving.json``.  Result parity (indexed vs unindexed vs HTTP) is
+  asserted before any clock is trusted, the full profile additionally gates
+  indexed < cold, and the suite prints ``serve parity: ok`` for CI to grep.
 
 Run:  python benchmarks/perf_smoke.py             (full, ~minutes)
       python benchmarks/perf_smoke.py --quick     (CI smoke, small graph)
@@ -79,7 +87,7 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 from repro import CachePolicy, SpiderMine, SpiderMineConfig  # noqa: E402
-from repro.catalog import CatalogQuery  # noqa: E402
+from repro.api import open_catalog  # noqa: E402
 from repro.core import mine_spiders  # noqa: E402
 from repro.graph import (  # noqa: E402
     barabasi_albert_graph,
@@ -98,6 +106,7 @@ CATALOG_RESULT_PATH = REPO_ROOT / "BENCH_catalog.json"
 OVERLAP_RESULT_PATH = REPO_ROOT / "BENCH_overlap_index.json"
 MATCHER_RESULT_PATH = REPO_ROOT / "BENCH_matcher.json"
 KERNELS_RESULT_PATH = REPO_ROOT / "BENCH_kernels.json"
+SERVING_RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
 
 #: Repetitions for best-of wall-clock measurements (shared-host noise makes
 #: single-shot comparisons meaningless; the minimum is the honest signal).
@@ -144,6 +153,12 @@ CATALOG_PROFILES = {
     "quick": (500, 60, 2, dict(min_support=2, k=4, d_max=6, seed=0)),
 }
 QUERY_REPEATS = 50
+
+#: profile -> (graph kwargs like CATALOG_PROFILES, number of batch needles)
+SERVING_PROFILES = {
+    "full": (2000, 120, 4, dict(min_support=2, k=6, d_max=6, seed=0), 24),
+    "quick": (500, 60, 2, dict(min_support=2, k=4, d_max=6, seed=0), 8),
+}
 
 #: profile -> (num_vertices, bfs_sources,
 #:             backend stage1 (support, size, emb cap),
@@ -329,7 +344,7 @@ def run_catalog_suite(profile):
         assert warm.digest() == cold.digest(), "cache hit diverged from cold mine"
         print(f"warm cache hit:  {warm_seconds:.4f}s (digest verified)", flush=True)
 
-        query = CatalogQuery(store_dir)
+        query = open_catalog(store_dir).query
         start = time.perf_counter()
         for _ in range(QUERY_REPEATS):
             top = query.top_k(mine_kwargs["k"], by="vertices")
@@ -909,6 +924,185 @@ def run_kernels_suite(profile):
     )
 
 
+def run_serving_suite(profile):
+    """Indexed batch containment vs the pre-index cold path, plus HTTP parity."""
+    import urllib.request
+
+    from repro.catalog import canonical_json
+    from repro.graph import LabeledGraph
+    from repro.graph.io import graph_to_dict
+
+    num_vertices, labels, num_large, mine_kwargs, num_needles = SERVING_PROFILES[
+        profile
+    ]
+    print(
+        f"serving suite: |V|={num_vertices} synthetic graph, "
+        f"{num_needles} batch needles, cold vs indexed ...",
+        flush=True,
+    )
+    data = synthetic_single_graph(
+        num_vertices=num_vertices,
+        num_labels=labels,
+        average_degree=2.0,
+        num_large_patterns=num_large,
+        large_pattern_vertices=12,
+        large_pattern_support=2,
+        num_small_patterns=4,
+        small_pattern_vertices=3,
+        small_pattern_support=2,
+        seed=SEED,
+    )
+    graph = freeze(data.graph)
+
+    def bfs_subgraph(pattern_graph, size):
+        """A deterministic connected ``size``-vertex subgraph of a pattern."""
+        start_vertex = min(pattern_graph.vertices(), key=repr)
+        keep = [start_vertex]
+        frontier = [start_vertex]
+        while frontier and len(keep) < size:
+            for n in sorted(pattern_graph.neighbors(frontier.pop(0)), key=repr):
+                if len(keep) < size and n not in keep:
+                    keep.append(n)
+                    frontier.append(n)
+        sub = LabeledGraph()
+        for v in keep:
+            sub.add_vertex(v, pattern_graph.label(v))
+        for u, v in pattern_graph.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v)
+        return sub
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as store_dir:
+        config = SpiderMineConfig(cache=CachePolicy.at(store_dir), **mine_kwargs)
+        result = SpiderMine(graph, config).mine()
+        assert result.patterns, "serving suite needs stored patterns"
+
+        seed_catalog = open_catalog(store_dir)
+        records = seed_catalog.top_k(k=len(result.patterns))
+        needles = []
+        while len(needles) < num_needles:
+            record = records[len(needles) % len(records)]
+            size = 2 + (len(needles) % 3)  # 2-4 vertex needles
+            needle = bfs_subgraph(seed_catalog.load_pattern(record).graph, size)
+            if len(needles) % 4 == 3:  # every 4th needle is a guaranteed miss
+                miss = LabeledGraph()
+                for v in needle.vertices():
+                    miss.add_vertex(v, "no-such-label")
+                for u, v in needle.edges():
+                    miss.add_edge(u, v)
+                needle = miss
+            needles.append(needle)
+
+        # Cold baseline: what N independent pre-index queries cost — a fresh
+        # handle per needle (payload caches start empty, as in one CLI
+        # invocation per query) running the per-(pattern, needle) re-seeding
+        # path.
+        start = time.perf_counter()
+        cold_results = []
+        for needle in needles:
+            fresh = open_catalog(store_dir).query
+            cold_results.append(fresh._containing_unindexed(needle))
+        cold_seconds = time.perf_counter() - start
+
+        # Indexed: one fresh handle answers the whole batch in one pass over
+        # the persisted sidecars.
+        indexed_catalog = open_catalog(store_dir)
+        start = time.perf_counter()
+        batch = indexed_catalog.contains_batch(needles)
+        indexed_seconds = time.perf_counter() - start
+        stats = indexed_catalog.stats.to_dict()
+
+        # Parity before the clock is trusted.
+        assert batch == cold_results, (
+            "serve parity FAILED: indexed batch containment diverged from "
+            "the unindexed reference"
+        )
+        # The index was read, never derived: mining persisted the sidecar.
+        assert stats["index_builds"] == 0, "mine-time sidecar missing"
+
+        # HTTP round trip: the served bytes must equal serialising the
+        # facade's own answer.
+        handle = open_catalog(store_dir, read_only=True).serve(
+            port=0, background=True
+        )
+        try:
+            payload = json.dumps(
+                {"graphs": [graph_to_dict(n) for n in needles]}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                handle.url + "/contains/batch",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            start = time.perf_counter()
+            with urllib.request.urlopen(request, timeout=60) as response:
+                served = response.read().decode("utf-8")
+            http_seconds = time.perf_counter() - start
+        finally:
+            handle.close()
+        expected = canonical_json([[r.to_dict() for r in grp] for grp in batch])
+        assert served == expected, (
+            "serve parity FAILED: HTTP /contains/batch bytes diverged from "
+            "the facade's serialised answer"
+        )
+
+    hits = sum(1 for grp in batch if grp)
+    speedup = round(cold_seconds / max(indexed_seconds, 1e-9), 2)
+    if profile == "full":
+        # The point of persisting the index: the batch path must beat N
+        # cold per-needle queries outright on the real profile (the quick
+        # CI graph is too small for the gap to dominate process noise).
+        assert indexed_seconds < cold_seconds, (
+            f"serving regression: indexed batch {indexed_seconds:.4f}s not "
+            f"faster than the cold per-needle path {cold_seconds:.4f}s"
+        )
+    payload = {
+        "benchmark": "serving_perf_smoke",
+        "profile": profile,
+        "graph": {
+            "model": "synthetic_single_graph",
+            "num_vertices": num_vertices,
+            "num_labels": labels,
+            "num_large_patterns": num_large,
+            "seed": SEED,
+        },
+        "mining_config": mine_kwargs,
+        "num_stored_patterns": len(result.patterns),
+        "num_needles": len(needles),
+        "needles_with_matches": hits,
+        "cold_unindexed_seconds": round(cold_seconds, 4),
+        "indexed_batch_seconds": round(indexed_seconds, 4),
+        "speedup": speedup,
+        "http_batch_seconds": round(http_seconds, 4),
+        "index_stats": stats,
+        "note": (
+            "cold = one fresh pre-index query per needle (matcher re-derives "
+            "target-side seeding per (pattern, needle) pair, payloads "
+            "re-read); indexed = one contains_batch over the mine-time "
+            "persisted pattern-index sidecars; both answer identically "
+            "(asserted) and the HTTP /contains/batch bytes equal the "
+            "serialised facade answer (asserted)"
+        ),
+    }
+    SERVING_RESULT_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"cold {cold_seconds:.3f}s vs indexed batch {indexed_seconds:.3f}s "
+        f"({speedup}x) over {len(needles)} needles "
+        f"({stats['seed_rejections']} of {stats['seed_checks']} seed checks "
+        f"rejected without a matcher call)",
+        flush=True,
+    )
+    # Reached only when every parity assert above passed.
+    print(
+        f"serve parity: ok (indexed/unindexed/HTTP agree on "
+        f"{len(needles)} needles, {hits} with matches) — "
+        f"written to {SERVING_RESULT_PATH.name}"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -946,6 +1140,11 @@ def main(argv=None) -> int:
         "--skip-kernels",
         action="store_true",
         help="skip the kernels suite (BENCH_kernels.json untouched)",
+    )
+    parser.add_argument(
+        "--skip-serve",
+        action="store_true",
+        help="skip the serving suite (BENCH_serving.json untouched)",
     )
     args = parser.parse_args(argv)
     profile = "quick" if args.quick else "full"
@@ -985,6 +1184,8 @@ def main(argv=None) -> int:
         run_matcher_suite(profile)
     if not args.skip_kernels:
         run_kernels_suite(profile)
+    if not args.skip_serve:
+        run_serving_suite(profile)
     return 0
 
 

@@ -8,7 +8,11 @@ This package is a from-scratch Python reproduction of
 
 Quickstart
 ----------
->>> from repro import mine_top_k_patterns
+The stable entry points live in :mod:`repro.api` (re-exported here): ``mine``
+to run SpiderMine, ``open_catalog`` to query or serve stored results, and
+``load_graph``/``save_graph`` for single-graph file I/O.
+
+>>> import repro
 >>> from repro.graph import synthetic_single_graph
 >>> data = synthetic_single_graph(
 ...     num_vertices=300, num_labels=50, average_degree=2.0,
@@ -16,7 +20,17 @@ Quickstart
 ...     num_small_patterns=3, small_pattern_vertices=3, small_pattern_support=2,
 ...     seed=7,
 ... )
->>> result = mine_top_k_patterns(data.graph, min_support=2, k=5, d_max=8)
+>>> result = repro.mine(data.graph, min_support=2, k=5, d_max=8,
+...                     catalog="./catalog")          # doctest: +SKIP
+>>> catalog = repro.open_catalog("./catalog")        # doctest: +SKIP
+>>> best = catalog.top_k(k=3, by="vertices")         # doctest: +SKIP
+>>> hits = catalog.contains_batch([needle1, needle2])  # doctest: +SKIP
+>>> catalog.serve(port=8080)  # HTTP: /runs /top-k /label /contains[/batch]
+...                                                  # doctest: +SKIP
+
+Without a catalog, mining alone needs no filesystem at all:
+
+>>> result = repro.mine(data.graph, min_support=2, k=5, d_max=8)
 >>> len(result.patterns) <= 5
 True
 
@@ -26,7 +40,8 @@ Sub-packages
 ``repro.patterns``     patterns, embeddings, support measures, spiders
 ``repro.core``         SpiderMine itself
 ``repro.parallel``     execution policies + shared-memory process-pool mining
-``repro.catalog``      persistent result store, run cache, top-k query service
+``repro.api``          the stable facade: mine / open_catalog / graph I/O
+``repro.catalog``      persistent result store, run cache, query + HTTP serving tier
 ``repro.baselines``    SUBDUE, SEuS, MoSS, GREW, ORIGAMI, gSpan reimplementations
 ``repro.transaction``  graph-transaction setting
 ``repro.datasets``     the paper's synthetic datasets + DBLP/Jeti stand-ins
@@ -48,7 +63,8 @@ from .core import (
 from .parallel import ExecutionPolicy
 from .patterns import Pattern, SupportMeasure
 from .graph import FrozenGraph, GraphView, LabeledGraph, freeze, thaw
-from .catalog import CatalogQuery, CatalogStore, RunCache
+from .catalog import CatalogQuery, CatalogStore, PatternRecord, RunCache
+from .api import Catalog, load_graph, mine, open_catalog, save_graph
 
 
 def _detect_version() -> str:
@@ -72,6 +88,13 @@ def _detect_version() -> str:
 __version__ = _detect_version()
 
 __all__ = [
+    # stable facade (repro.api)
+    "Catalog",
+    "mine",
+    "open_catalog",
+    "load_graph",
+    "save_graph",
+    # mining engine
     "MiningResult",
     "MiningStatistics",
     "SpiderMine",
@@ -81,13 +104,16 @@ __all__ = [
     "mine_top_k_patterns",
     "Pattern",
     "SupportMeasure",
+    # graph substrate
     "LabeledGraph",
     "FrozenGraph",
     "GraphView",
     "freeze",
     "thaw",
+    # catalog internals (constructors may deprecate; prefer the facade)
     "CatalogStore",
     "CatalogQuery",
+    "PatternRecord",
     "RunCache",
     "__version__",
 ]

@@ -1,0 +1,266 @@
+"""The stable programmatic facade of the reproduction: ``repro.api``.
+
+Three verbs cover the whole mine → store → serve lifecycle:
+
+* :func:`mine` — run SpiderMine on a graph, optionally writing the result
+  into a catalog (the run cache re-serves bit-identical results on re-mines);
+* :func:`load_graph` / :func:`save_graph` — one-graph file I/O in either the
+  JSON wire format the HTTP API accepts or the gSpan-style ``.lg`` format;
+* :func:`open_catalog` — a :class:`Catalog` handle over a stored catalog:
+  ``top_k`` / ``with_label`` / ``contains`` / ``contains_batch`` queries and
+  ``serve()`` to put the same answers on an HTTP port.
+
+Everything here is re-exported from ``repro`` itself, so user code needs a
+single import:
+
+>>> import repro
+>>> from repro.graph import synthetic_single_graph
+>>> data = synthetic_single_graph(
+...     num_vertices=200, num_labels=40, average_degree=2.0,
+...     num_large_patterns=2, large_pattern_vertices=12, large_pattern_support=2,
+...     num_small_patterns=2, small_pattern_vertices=3, small_pattern_support=2,
+...     seed=1,
+... )
+>>> result = repro.mine(data.graph, min_support=2, k=5, d_max=6,
+...                     catalog="/tmp/doctest-catalog")
+>>> catalog = repro.open_catalog("/tmp/doctest-catalog")
+>>> len(catalog.top_k(k=3)) <= 3
+True
+
+The facade is the supported surface: internals (`CatalogQuery`,
+`SubgraphMatcher` setup, payload shapes) may move between releases, these
+names and semantics do not.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .catalog.query import (
+    INDEX_CACHE_ENTRIES,
+    PAYLOAD_CACHE_ENTRIES,
+    CatalogQuery,
+    PatternRecord,
+)
+from .catalog.store import CatalogStore, PathLike
+from .core.config import CachePolicy
+from .core.results import MiningResult
+from .core.spidermine import mine_top_k_patterns
+from .graph.io import (
+    GraphLike,
+    graph_from_dict,
+    graph_to_dict,
+    read_lg,
+    write_lg,
+)
+from .graph.view import GraphView
+from .patterns.pattern import Pattern
+
+__all__ = [
+    "Catalog",
+    "mine",
+    "load_graph",
+    "save_graph",
+    "open_catalog",
+]
+
+
+# ---------------------------------------------------------------------- #
+# mining
+# ---------------------------------------------------------------------- #
+def mine(
+    graph: GraphView,
+    min_support: int,
+    k: int = 10,
+    d_max: int = 4,
+    epsilon: float = 0.1,
+    radius: int = 1,
+    v_min: Optional[int] = None,
+    seed: Optional[int] = 0,
+    catalog: Optional[PathLike] = None,
+    cache_mode: str = "readwrite",
+    **overrides,
+) -> MiningResult:
+    """Run SpiderMine; with ``catalog=DIR`` the run is cached/served there.
+
+    Identical semantics (and bit-identical results) to
+    :func:`repro.core.spidermine.mine_top_k_patterns`; the ``catalog``
+    argument is sugar for ``cache=CachePolicy.at(DIR, mode=cache_mode)`` and
+    is what makes the result queryable via :func:`open_catalog` afterwards.
+    """
+    if catalog is not None:
+        if "cache" in overrides:
+            raise ValueError("pass either catalog=... or cache=..., not both")
+        overrides["cache"] = CachePolicy.at(catalog, mode=cache_mode)
+    return mine_top_k_patterns(
+        graph,
+        min_support,
+        k=k,
+        d_max=d_max,
+        epsilon=epsilon,
+        radius=radius,
+        v_min=v_min,
+        seed=seed,
+        **overrides,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# graph file I/O
+# ---------------------------------------------------------------------- #
+def save_graph(graph: GraphView, path: PathLike) -> None:
+    """Write one graph to ``path``; format chosen by suffix.
+
+    ``.lg`` writes the gSpan-style edge-list format; anything else writes the
+    canonical JSON object (``{"vertices": ..., "edges": ...}``) — exactly the
+    needle wire shape ``POST /contains`` accepts, so a saved file's body can
+    be shipped to the server verbatim.
+    """
+    path = Path(path)
+    if path.suffix == ".lg":
+        write_lg([graph], path)
+        return
+    import json
+
+    path.write_text(
+        json.dumps(graph_to_dict(graph), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_graph(path: PathLike, frozen: bool = False) -> GraphLike:
+    """Read the single graph stored at ``path`` (inverse of :func:`save_graph`).
+
+    Accepts ``.lg`` files and JSON files holding either one graph object or a
+    one-element list (the :func:`repro.graph.io.write_json` shape).  A file
+    holding several graphs is an error — use :func:`repro.graph.io.read_lg`
+    / :func:`~repro.graph.io.read_json` for multi-graph files.
+    """
+    path = Path(path)
+    if path.suffix == ".lg":
+        graphs = read_lg(path, frozen=frozen)
+    else:
+        import json
+
+        from .graph.frozen import freeze
+
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(payload, dict):
+            payload = [payload]
+        graphs = [graph_from_dict(item) for item in payload]
+        if frozen:
+            graphs = [freeze(g) for g in graphs]
+    if len(graphs) != 1:
+        raise ValueError(
+            f"{path} holds {len(graphs)} graphs; load_graph expects exactly one "
+            "(use repro.graph.io.read_lg / read_json for collections)"
+        )
+    return graphs[0]
+
+
+# ---------------------------------------------------------------------- #
+# the catalog handle
+# ---------------------------------------------------------------------- #
+class Catalog:
+    """A read-mostly handle over one stored catalog.
+
+    Thin, stable wrapper around the query layer: every method answers from
+    the store's summaries and the persisted pattern-index sidecars, never
+    from data graphs.  The same handle backs the HTTP server, which is why
+    server responses are byte-identical to serialising these answers.
+    """
+
+    def __init__(self, query: CatalogQuery) -> None:
+        self.query = query
+
+    @property
+    def store(self) -> CatalogStore:
+        return self.query.store
+
+    @property
+    def stats(self):
+        """Work counters of the index-backed containment path."""
+        return self.query.stats
+
+    def runs(self, kind: Optional[str] = None) -> List[Dict]:
+        """Stored run summaries (per-pattern lists elided), sorted by run id."""
+        summaries = []
+        for run in self.store.list_runs(kind=kind):
+            summary = {k: v for k, v in run.items() if k != "patterns"}
+            summary["num_patterns"] = len(run.get("patterns", []))
+            summaries.append(summary)
+        summaries.sort(key=lambda r: r["run_id"])
+        return summaries
+
+    def top_k(
+        self,
+        k: int = 10,
+        by: str = "vertices",
+        label=None,
+        run: Optional[str] = None,
+    ) -> List[PatternRecord]:
+        """The k best stored patterns by ``vertices``/``edges``/``support``."""
+        return self.query.top_k(k, by=by, label=label, run_id=run)
+
+    def with_label(self, label, run: Optional[str] = None) -> List[PatternRecord]:
+        """Stored patterns containing a vertex with ``label``."""
+        return self.query.with_label(label, run_id=run)
+
+    def contains(
+        self,
+        needle: Union[GraphView, Pattern],
+        run: Optional[str] = None,
+    ) -> List[PatternRecord]:
+        """Stored patterns containing ``needle`` as a label-preserving subgraph."""
+        return self.query.containing(needle, run_id=run)
+
+    def contains_batch(
+        self,
+        needles: Sequence[Union[GraphView, Pattern]],
+        run: Optional[str] = None,
+    ) -> List[List[PatternRecord]]:
+        """Containment for many needles in one pass over the stored runs."""
+        return self.query.contains_batch(needles, run_id=run)
+
+    def load_pattern(self, record: PatternRecord) -> Pattern:
+        """The full pattern (graph + embeddings) behind a record."""
+        return self.query.load_pattern(record)
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        background: bool = False,
+        **defaults,
+    ):
+        """Serve this catalog over HTTP (see :mod:`repro.catalog.server`).
+
+        Foreground blocks until interrupted; ``background=True`` returns a
+        :class:`~repro.catalog.server.ServerHandle` bound to an OS-chosen
+        port when ``port=0``.
+        """
+        from .catalog.server import serve as _serve
+
+        return _serve(self, host=host, port=port, background=background, **defaults)
+
+
+def open_catalog(
+    store: Union[CatalogStore, PathLike],
+    read_only: bool = False,
+    payload_cache_size: int = PAYLOAD_CACHE_ENTRIES,
+    index_cache_size: int = INDEX_CACHE_ENTRIES,
+) -> Catalog:
+    """Open a stored catalog for querying/serving.
+
+    ``read_only=True`` guarantees the store is never written — stale or
+    missing pattern-index sidecars are rebuilt in memory only.  That is the
+    mode ``repro serve`` uses, so a Docker-mounted read-only volume works.
+    """
+    query = CatalogQuery._create(
+        store,
+        payload_cache_size=payload_cache_size,
+        index_cache_size=index_cache_size,
+        read_only=read_only,
+    )
+    return Catalog(query)

@@ -13,7 +13,15 @@ patterns/core → parallel): mine once, store durably, answer queries fast.
   re-mining (enable with :class:`repro.core.config.CachePolicy` or the CLI
   ``--cache DIR``);
 * :mod:`repro.catalog.query` — :class:`CatalogQuery`, top-k / label-filter /
-  containment queries over stored runs without loading data graphs.
+  containment queries over stored runs without loading data graphs
+  (construct via :func:`repro.api.open_catalog`);
+* :mod:`repro.catalog.pattern_index` — the persisted needle-side domain
+  index (per-run sidecars derived at mine time) that makes containment's
+  candidate seeding a pure metadata check;
+* :mod:`repro.catalog.server` — ``repro serve``, the asyncio HTTP JSON API
+  over a read-only store;
+* :mod:`repro.catalog.lru` — the thread-safe LRU bounding the hot payload
+  and pattern-index caches.
 """
 
 from .cache import RunCache, RunKey, code_version
@@ -28,7 +36,10 @@ from .formats import (
     result_from_payload,
     result_payload,
 )
+from .lru import LRUCache
+from .pattern_index import IndexStats, PatternDomainEntry
 from .query import CatalogQuery, PatternRecord
+from .server import CatalogServer, ServerHandle, serve
 from .store import CatalogError, CatalogStore
 
 __all__ = [
@@ -36,10 +47,16 @@ __all__ = [
     "CatalogError",
     "CatalogFormatError",
     "CatalogQuery",
+    "CatalogServer",
     "CatalogStore",
+    "IndexStats",
+    "LRUCache",
+    "PatternDomainEntry",
     "PatternRecord",
     "RunCache",
     "RunKey",
+    "ServerHandle",
+    "serve",
     "canonical_json",
     "code_version",
     "config_digest",

@@ -44,6 +44,7 @@ from .formats import (
     stage1_config_digest,
     stage1_config_payload,
 )
+from .pattern_index import run_index_payload
 from .store import CatalogError, CatalogStore, PathLike
 
 __all__ = ["RunKey", "RunCache", "code_version"]
@@ -188,6 +189,15 @@ class RunCache:
         if config.cache.store_graph:
             self._put_graph_snapshot(graph, key.graph_digest)
         self.store.put_run(key.run_id, record, run_summary_from_record(record))
+        # Derive the needle-side pattern index while the payload is in hand,
+        # so the serving tier's containment queries never pay the per-run
+        # derivation cold (invalidation rides the same code_version fence).
+        self.store.put_pattern_index(
+            key.run_id,
+            run_index_payload(
+                key.run_id, record["result"]["patterns"], key.code_version
+            ),
+        )
         self.inserts += 1
         return key.run_id
 

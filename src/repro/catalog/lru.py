@@ -1,0 +1,96 @@
+"""A small thread-safe LRU cache shared by the catalog serving tier.
+
+Three hot-object caches use it: :class:`~repro.catalog.query.CatalogQuery`'s
+per-run payload cache (previously an unbounded dict — the bug this class
+fixes), its per-run pattern-index cache, and the HTTP server's hot-index
+reuse across requests.  The lock makes it safe under the server's
+executor-thread concurrency; every operation is O(1).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, TypeVar
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUCache:
+    """Bounded mapping evicting the least-recently-used entry.
+
+    ``max_entries <= 0`` disables storage entirely (every lookup misses),
+    which keeps call sites free of "is caching on?" branches.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = int(max_entries)
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        with self._lock:
+            if key not in self._data:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+
+    def put(self, key: K, value: V) -> None:
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_build(self, key: K, build: Callable[[], V]) -> V:
+        """The cached value, building (and storing) it on a miss.
+
+        ``build`` runs outside the lock — two threads may race to build the
+        same entry, which is safe for the catalog's idempotent derivations
+        (last writer wins, both values are equal).
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        value = build()
+        self.put(key, value)
+        return value
+
+    def discard(self, key: K) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

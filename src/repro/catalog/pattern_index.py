@@ -1,0 +1,294 @@
+"""The persisted needle-side domain index for catalog containment queries.
+
+Containment (`which stored patterns contain this needle graph?`) is answered
+by running :class:`~repro.graph.isomorphism.SubgraphMatcher` with the needle
+as the pattern and each stored *pattern graph* as the target.  The expensive
+part of every such match is the target-side setup the matcher re-derives per
+``(pattern, needle)`` pair: each target vertex's label, degree and
+neighbor-label multiset signature, grouped by label class — exactly the data
+candidate-domain seeding filters on.  That derivation depends only on the
+stored pattern, so this module computes it **once, at mine/ingest time**, and
+persists it as a sidecar object next to the run
+(``objects/indexes/<run_id>.json``).
+
+A needle vertex with label ``l``, degree ``d`` and signature ``s`` has a
+non-empty seed domain in a stored pattern iff the pattern's class-``l`` list
+holds a vertex with degree ``>= d`` whose signature dominates ``s``
+(:func:`entry_admits`).  Because matcher domains are a *subset* of these seed
+domains (the matcher additionally runs arc consistency), an index rejection
+is sound: the matcher would have proven zero embeddings anyway.  Only needles
+that survive seeding load the pattern graph and enter a real search, so a
+batch of N needles is answered in **one pass** over the per-run sidecars
+instead of N full re-derivations.
+
+Invalidation mirrors the run cache exactly: every sidecar records the
+``code_version`` that derived it, and a reader treats any other version as
+absent (the caller rebuilds from the run payload and overwrites).  Sidecars
+are derived data — losing one costs a rebuild, never correctness — so they
+live outside the catalog index and :meth:`CatalogStore.gc` simply drops the
+ones whose run vanished.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.view import GraphView
+from .formats import FORMAT_VERSION, CatalogFormatError
+
+__all__ = [
+    "PATTERN_INDEX_KIND",
+    "IndexStats",
+    "PatternDomainEntry",
+    "entry_from_pattern_payload",
+    "entry_admits",
+    "needle_requirements",
+    "run_index_payload",
+    "run_index_from_payload",
+]
+
+#: ``kind`` stamp of every sidecar payload; readers refuse anything else.
+PATTERN_INDEX_KIND = "pattern_index"
+
+
+@dataclass
+class IndexStats:
+    """Work counters of the index-backed containment path (observational)."""
+
+    #: sidecars derived from run payloads (cold builds)
+    index_builds: int = 0
+    #: sidecars loaded from disk (or the in-process LRU missing them)
+    index_loads: int = 0
+    #: (pattern, needle) seeding decisions taken purely from the index
+    seed_checks: int = 0
+    #: seeding decisions that answered "not contained" with zero matcher work
+    seed_rejections: int = 0
+    #: full SubgraphMatcher confirmations actually run
+    matcher_calls: int = 0
+    #: run payloads read from disk (pattern-graph materialisations)
+    payload_loads: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "index_builds": self.index_builds,
+            "index_loads": self.index_loads,
+            "seed_checks": self.seed_checks,
+            "seed_rejections": self.seed_rejections,
+            "matcher_calls": self.matcher_calls,
+            "payload_loads": self.payload_loads,
+        }
+
+
+@dataclass(frozen=True)
+class PatternDomainEntry:
+    """The needle-side seeding data of one stored pattern graph.
+
+    ``classes`` maps each vertex label to the ``(degree, signature)`` pairs of
+    the pattern vertices carrying it, where ``signature`` counts the labels of
+    the vertex's neighbors.  Everything candidate-domain seeding needs — and
+    nothing else: embeddings, vertex ids and edges stay in the run payload.
+    """
+
+    index: int
+    num_vertices: int
+    num_edges: int
+    label_counts: Dict = field(default_factory=dict)
+    classes: Dict = field(default_factory=dict)
+
+    def labels(self) -> Tuple:
+        return tuple(sorted(self.label_counts, key=repr))
+
+
+# ---------------------------------------------------------------------- #
+# building entries
+# ---------------------------------------------------------------------- #
+def entry_from_pattern_payload(index: int, data: Dict) -> PatternDomainEntry:
+    """Derive one entry from a stored pattern payload (no graph object built).
+
+    Works directly on the encoded string vertex keys — identity of vertices
+    is irrelevant to seeding, only labels, degrees and signatures matter.
+    """
+    vertices = data["graph"]["vertices"]
+    edges = data["graph"]["edges"]
+    label_of = {key: label for key, label in vertices}
+    degree: Counter = Counter()
+    signature: Dict[str, Counter] = {key: Counter() for key in label_of}
+    for u, v in edges:
+        degree[u] += 1
+        degree[v] += 1
+        signature[u][label_of[v]] += 1
+        signature[v][label_of[u]] += 1
+    classes: Dict = {}
+    for key, label in vertices:
+        classes.setdefault(label, []).append((degree[key], dict(signature[key])))
+    label_counts = dict(Counter(label for _, label in vertices))
+    return PatternDomainEntry(
+        index=index,
+        num_vertices=len(vertices),
+        num_edges=len(edges),
+        label_counts=label_counts,
+        classes=classes,
+    )
+
+
+def entry_from_graph(index: int, graph: GraphView) -> PatternDomainEntry:
+    """Derive one entry from a live graph (ingest paths without a payload)."""
+    classes: Dict = {}
+    for v in graph.vertices():
+        signature = dict(Counter(graph.label(n) for n in graph.neighbors(v)))
+        classes.setdefault(graph.label(v), []).append((graph.degree(v), signature))
+    return PatternDomainEntry(
+        index=index,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        label_counts=dict(graph.label_counts()),
+        classes=classes,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# needle-side seeding
+# ---------------------------------------------------------------------- #
+def needle_requirements(graph: GraphView) -> Optional[List[Tuple]]:
+    """Per-needle-vertex ``(label, degree, signature)`` seeding requirements.
+
+    ``None`` for the empty needle, which (matching the matcher's
+    ``_query_feasible``) can never be "contained" in anything.  Computed once
+    per needle and reused across every stored pattern of a batch.
+    """
+    if graph.num_vertices == 0:
+        return None
+    out = []
+    for v in graph.vertices():
+        signature = dict(Counter(graph.label(n) for n in graph.neighbors(v)))
+        out.append((graph.label(v), graph.degree(v), signature))
+    return out
+
+
+def _dominates(have: Dict, need: Dict) -> bool:
+    return all(have.get(label, 0) >= count for label, count in need.items())
+
+
+def entry_admits(
+    entry: PatternDomainEntry,
+    requirements: Sequence[Tuple],
+    needle_label_counts: Dict,
+) -> bool:
+    """Whether seeding leaves every needle vertex a non-empty domain.
+
+    Mirrors :class:`SubgraphMatcher`'s pre-search filters — label-count
+    feasibility (injectivity needs enough vertices per label) plus the
+    label/degree/neighbor-signature domain seed — without touching the
+    pattern graph.  ``False`` is a proof of zero embeddings.
+    """
+    for label, count in needle_label_counts.items():
+        if entry.label_counts.get(label, 0) < count:
+            return False
+    for label, degree, signature in requirements:
+        candidates = entry.classes.get(label)
+        if not candidates:
+            return False
+        if not any(
+            cand_degree >= degree and _dominates(cand_signature, signature)
+            for cand_degree, cand_signature in candidates
+        ):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# sidecar payloads (JSON-safe: labels may be any JSON-native value, so
+# label-keyed maps are emitted as repr-sorted pair lists, never dict keys)
+# ---------------------------------------------------------------------- #
+def _counts_payload(counts: Dict) -> List[List]:
+    return [[label, counts[label]] for label in sorted(counts, key=repr)]
+
+
+def _counts_from_payload(pairs: Sequence[Sequence]) -> Dict:
+    return {label: count for label, count in pairs}
+
+
+def _entry_payload(entry: PatternDomainEntry) -> Dict:
+    return {
+        "index": entry.index,
+        "num_vertices": entry.num_vertices,
+        "num_edges": entry.num_edges,
+        "label_counts": _counts_payload(entry.label_counts),
+        "classes": [
+            [
+                label,
+                [
+                    [degree, _counts_payload(signature)]
+                    for degree, signature in entry.classes[label]
+                ],
+            ]
+            for label in sorted(entry.classes, key=repr)
+        ],
+    }
+
+
+def _entry_from_payload(data: Dict) -> PatternDomainEntry:
+    return PatternDomainEntry(
+        index=data["index"],
+        num_vertices=data["num_vertices"],
+        num_edges=data["num_edges"],
+        label_counts=_counts_from_payload(data["label_counts"]),
+        classes={
+            label: [
+                (degree, _counts_from_payload(signature))
+                for degree, signature in members
+            ]
+            for label, members in data["classes"]
+        },
+    )
+
+
+def run_index_payload(
+    run_id: str, pattern_payloads: Sequence[Dict], version: str
+) -> Dict:
+    """The sidecar object for one run: every pattern's entry + the code fence."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": PATTERN_INDEX_KIND,
+        "run_id": run_id,
+        "code_version": version,
+        "patterns": [
+            _entry_payload(entry_from_pattern_payload(i, p))
+            for i, p in enumerate(pattern_payloads)
+        ],
+    }
+
+
+def run_index_from_payload(
+    data: Dict, run_id: str, version: str
+) -> Optional[List[PatternDomainEntry]]:
+    """Decode a sidecar, or ``None`` when it is stale or malformed.
+
+    The invalidation contract of the run cache, applied to derived data: a
+    ``code_version`` other than the current build's means the deriving code
+    may have changed, so the sidecar is treated as absent and rebuilt.
+    """
+    try:
+        if (
+            data.get("format") != FORMAT_VERSION
+            or data.get("kind") != PATTERN_INDEX_KIND
+            or data.get("run_id") != run_id
+            or data.get("code_version") != version
+        ):
+            return None
+        return [_entry_from_payload(p) for p in data["patterns"]]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def build_run_index(run_payload: Dict, run_id: str, version: str) -> Dict:
+    """Derive the sidecar payload from a stored ``result`` run record."""
+    try:
+        patterns = run_payload["result"]["patterns"]
+    except (KeyError, TypeError) as error:
+        raise CatalogFormatError(
+            f"run {run_id} has no result patterns to index: {error}"
+        ) from error
+    return run_index_payload(run_id, patterns, version)

@@ -7,6 +7,7 @@ On-disk layout (all plain JSON, human-inspectable)::
       objects/
         graphs/<graph_digest>.json  # canonical data-graph snapshots
         runs/<run_id>.json          # stored runs (results or spider sets)
+        indexes/<run_id>.json       # derived pattern-index sidecars (serving)
 
 Objects are **content-addressed**: a graph's file name is the digest of its
 canonical structure, a run's file name is the digest of its cache key
@@ -62,6 +63,7 @@ class CatalogStore:
         self.objects_dir = self.root / "objects"
         self.graphs_dir = self.objects_dir / "graphs"
         self.runs_dir = self.objects_dir / "runs"
+        self.indexes_dir = self.objects_dir / "indexes"
 
     # ------------------------------------------------------------------ #
     # index handling
@@ -229,6 +231,43 @@ class CatalogStore:
         return runs
 
     # ------------------------------------------------------------------ #
+    # pattern-index sidecars (derived, self-describing serving data)
+    # ------------------------------------------------------------------ #
+    def put_pattern_index(self, run_id: str, payload: Dict) -> None:
+        """Store the needle-side pattern index sidecar for ``run_id``.
+
+        Sidecars are derived data keyed like their run, so they are *not*
+        tracked in ``catalog.json`` — losing one costs a rebuild on the next
+        containment query, never correctness.
+        """
+        self.indexes_dir.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self.indexes_dir / f"{run_id}.json",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+
+    def has_pattern_index(self, run_id: str) -> bool:
+        return (self.indexes_dir / f"{run_id}.json").exists()
+
+    def get_pattern_index(self, run_id: str) -> Optional[Dict]:
+        """The sidecar payload, or ``None`` when missing or unreadable.
+
+        Unreadable sidecars degrade to a rebuild (the same broken-object
+        contract as the run cache), so a truncated write never fails a query.
+        """
+        path = self.indexes_dir / f"{run_id}.json"
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def drop_pattern_index(self, run_id: str) -> None:
+        try:
+            (self.indexes_dir / f"{run_id}.json").unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
     # garbage collection
     # ------------------------------------------------------------------ #
     def gc(self) -> Dict[str, int]:
@@ -244,12 +283,15 @@ class CatalogStore:
            valid objects are deleted as strays;
         3. *unpinned* graphs referenced by no run are deleted — pinned graphs
            (explicit ``catalog ingest``) always survive.  Recovered graphs
-           come back unpinned, so an orphaned snapshot still ages out here.
+           come back unpinned, so an orphaned snapshot still ages out here;
+        4. pattern-index sidecars whose run is gone are deleted.  Sidecars are
+           derived data (rebuildable from the run payload), so gc never tries
+           to recover them.
 
         Returns removal/recovery counters.
         """
         index = self._load_index()
-        removed = {"runs": 0, "graphs": 0, "stray_files": 0, "recovered": 0}
+        removed = {"runs": 0, "graphs": 0, "stray_files": 0, "recovered": 0, "indexes": 0}
 
         # 1 + 2 for runs: drop dead entries, then recover or delete strays.
         for run_id in list(index["runs"]):
@@ -315,6 +357,13 @@ class CatalogStore:
                 (self.graphs_dir / f"{digest}.json").unlink()
                 del index["graphs"][digest]
                 removed["graphs"] += 1
+
+        # 4: sidecars of vanished runs.
+        if self.indexes_dir.is_dir():
+            for path in self.indexes_dir.glob("*.json"):
+                if path.stem not in index["runs"]:
+                    path.unlink()
+                    removed["indexes"] += 1
 
         self._save_index(index)
         return removed

@@ -7,6 +7,11 @@ Sub-commands
 ``compare``   run SpiderMine and the single-graph baselines on a dataset
 ``spiders``   run only Stage I and report the spider statistics
 ``catalog``   the persistent pattern catalog: ``ingest``/``list``/``query``/``gc``
+``serve``     HTTP JSON API over a catalog (read-only; same answers as ``query``)
+
+``catalog query`` and ``serve`` share one option set (``--top``/``--by``/
+``--label``/``--run``/``--json``): what filters a one-shot query becomes the
+server's defaults, so the two surfaces can never drift apart.
 """
 
 from __future__ import annotations
@@ -20,8 +25,10 @@ from typing import List, Optional
 
 from . import __version__
 from .analysis import RuntimeTable, SizeDistributionComparison
+from .api import open_catalog
 from .baselines import run_seus, run_subdue
-from .catalog import CatalogError, CatalogFormatError, CatalogQuery, CatalogStore
+from .catalog import CatalogError, CatalogFormatError, CatalogStore
+from .catalog.query import RANKINGS
 from .core import CachePolicy, SpiderMine, SpiderMineConfig, mine_spiders
 from .datasets import generate_gid
 from .graph import GRAPH_BACKENDS, GraphView, io as graph_io
@@ -205,35 +212,26 @@ def _cmd_catalog_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_catalog_query(args: argparse.Namespace) -> int:
+def _validated_top(args: argparse.Namespace) -> int:
     if args.top is not None and args.top < 0:
         raise SystemExit(f"error: --top must be non-negative (got {args.top})")
-    top = args.top if args.top is not None else 10
-    query = CatalogQuery(args.store)
+    return args.top if args.top is not None else 10
+
+
+def _cmd_catalog_query(args: argparse.Namespace) -> int:
+    top = _validated_top(args)
+    catalog = open_catalog(args.store)
     if args.contains:
         needle = _load_graph(args.contains, backend="dict")
-        records = query.containing(needle, run_id=args.run)
+        records = catalog.contains(needle, run=args.run)
         if args.label is not None:
             records = [r for r in records if args.label in r.labels]
         records = records[:top]
     else:
-        records = query.top_k(top, by=args.by, label=args.label, run_id=args.run)
+        records = catalog.top_k(top, by=args.by, label=args.label, run=args.run)
     if args.json:
-        print(json.dumps(
-            [
-                {
-                    "run_id": r.run_id,
-                    "index": r.index,
-                    "num_vertices": r.num_vertices,
-                    "num_edges": r.num_edges,
-                    "support": r.support,
-                    "labels": list(r.labels),
-                }
-                for r in records
-            ],
-            indent=2,
-            sort_keys=True,
-        ))
+        # The same schema (PatternRecord.to_dict) the HTTP API serves.
+        print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
         return 0
     if not records:
         print("no matching patterns in the catalog")
@@ -246,8 +244,23 @@ def _cmd_catalog_query(args: argparse.Namespace) -> int:
 def _cmd_catalog_gc(args: argparse.Namespace) -> int:
     removed = CatalogStore(args.store).gc()
     print(f"gc: removed {removed['runs']} run(s), {removed['graphs']} graph(s), "
+          f"{removed['indexes']} index sidecar(s), "
           f"{removed['stray_files']} stray file(s); "
           f"recovered {removed['recovered']} unindexed object(s)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    top = _validated_top(args)
+    catalog = open_catalog(args.store, read_only=True)
+    catalog.serve(
+        host=args.host,
+        port=args.port,
+        default_top=top,
+        default_by=args.by,
+        default_label=args.label,
+        default_run=args.run,
+    )
     return 0
 
 
@@ -358,22 +371,32 @@ def build_parser() -> argparse.ArgumentParser:
     list_cmd.add_argument("--json", action="store_true", help="machine-readable output")
     list_cmd.set_defaults(func=_cmd_catalog_list)
 
+    # One option set shared by `catalog query` and `serve`: a one-shot
+    # query's filters are exactly the server's defaults.
+    query_options = argparse.ArgumentParser(add_help=False)
+    query_options.add_argument("--top", type=int, default=None, metavar="K",
+                               help="return the K best patterns (default 10)")
+    query_options.add_argument("--by", choices=list(RANKINGS), default="vertices",
+                               help="ranking key for --top (ignored with "
+                                    "--contains, whose results keep stored-run "
+                                    "order)")
+    query_options.add_argument("--label",
+                               help="only patterns containing this vertex label")
+    query_options.add_argument("--run", metavar="RUN_ID",
+                               help="restrict to one stored run")
+    query_options.add_argument("--json", action="store_true",
+                               help="machine-readable output (the HTTP API's "
+                                    "schema; servers always emit JSON)")
+
     query_cmd = catalog_sub.add_parser(
-        "query", help="query stored patterns (top-k, label filter, containment)"
+        "query",
+        parents=[query_options],
+        help="query stored patterns (top-k, label filter, containment)",
     )
     query_cmd.add_argument("store", help="catalog directory")
-    query_cmd.add_argument("--top", type=int, default=None, metavar="K",
-                           help="return the K best patterns (default 10)")
-    query_cmd.add_argument("--by", choices=["vertices", "edges", "support"],
-                           default="vertices",
-                           help="ranking key for --top (ignored with --contains, "
-                                "whose results keep stored-run order)")
-    query_cmd.add_argument("--label", help="only patterns containing this vertex label")
     query_cmd.add_argument("--contains", metavar="GRAPH",
                            help="only patterns containing this graph file "
                                 "(.lg/.json) as a subgraph")
-    query_cmd.add_argument("--run", metavar="RUN_ID", help="restrict to one stored run")
-    query_cmd.add_argument("--json", action="store_true", help="machine-readable output")
     query_cmd.set_defaults(func=_cmd_catalog_query)
 
     gc_cmd = catalog_sub.add_parser(
@@ -381,6 +404,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gc_cmd.add_argument("store", help="catalog directory")
     gc_cmd.set_defaults(func=_cmd_catalog_gc)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        parents=[query_options],
+        help="serve a catalog over HTTP (read-only JSON API); the shared "
+             "query options become the server's endpoint defaults",
+    )
+    serve_cmd.add_argument("store", help="catalog directory")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1; use 0.0.0.0 "
+                                "in containers)")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="TCP port (default 8080; 0 picks a free port)")
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     return parser
 

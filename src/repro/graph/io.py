@@ -150,5 +150,9 @@ def write_json(graphs: Sequence[GraphView], path: PathLike) -> None:
 
 
 def read_json(path: PathLike, frozen: bool = False) -> List[GraphLike]:
+    """Inverse of :func:`write_json`; also accepts a bare single-graph object
+    (what :func:`repro.api.save_graph` writes)."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(payload, dict):
+        payload = [payload]
     return [graph_from_dict(item, frozen=frozen) for item in payload]

@@ -1,0 +1,135 @@
+"""The stable facade (repro.api): mine / graph I/O / open_catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import mine_top_k_patterns, open_catalog
+from repro.catalog import result_digest
+from repro.graph import LabeledGraph, synthetic_single_graph
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return synthetic_single_graph(
+        num_vertices=150, num_labels=20, average_degree=2.0,
+        num_large_patterns=1, large_pattern_vertices=9, large_pattern_support=2,
+        num_small_patterns=2, small_pattern_vertices=3, small_pattern_support=2,
+        seed=11,
+    ).graph
+
+
+class TestMine:
+    def test_matches_mine_top_k_patterns_bit_identically(self, small_graph):
+        via_facade = repro.mine(small_graph, min_support=2, k=4, d_max=6, seed=0)
+        via_engine = mine_top_k_patterns(small_graph, 2, k=4, d_max=6, seed=0)
+        assert result_digest(via_facade) == result_digest(via_engine)
+
+    def test_catalog_argument_stores_and_reserves(self, small_graph, tmp_path):
+        store = tmp_path / "cat"
+        first = repro.mine(small_graph, min_support=2, k=4, d_max=6, catalog=store)
+        second = repro.mine(small_graph, min_support=2, k=4, d_max=6, catalog=store)
+        assert second.cache_info["status"] == "hit"
+        assert result_digest(first) == result_digest(second)
+
+    def test_catalog_and_cache_conflict(self, small_graph, tmp_path):
+        from repro import CachePolicy
+
+        with pytest.raises(ValueError, match="not both"):
+            repro.mine(
+                small_graph, min_support=2, catalog=tmp_path,
+                cache=CachePolicy.at(tmp_path),
+            )
+
+
+class TestGraphIO:
+    def _sample(self):
+        g = LabeledGraph()
+        g.add_vertex(0, "A")
+        g.add_vertex(1, "B")
+        g.add_edge(0, 1)
+        return g
+
+    @pytest.mark.parametrize("name", ["g.json", "g.lg"])
+    def test_round_trip(self, tmp_path, name):
+        g = self._sample()
+        path = tmp_path / name
+        repro.save_graph(g, path)
+        back = repro.load_graph(path)
+        assert sorted(back.labels().values()) == ["A", "B"]
+        assert back.num_edges == 1
+
+    def test_multi_graph_file_is_rejected(self, tmp_path):
+        from repro.graph import io as gio
+
+        path = tmp_path / "two.lg"
+        gio.write_lg([self._sample(), self._sample()], path)
+        with pytest.raises(ValueError, match="2 graphs"):
+            repro.load_graph(path)
+
+    def test_json_shape_is_the_needle_wire_format(self, tmp_path):
+        import json
+
+        from repro.graph.io import graph_to_dict
+
+        path = tmp_path / "g.json"
+        repro.save_graph(self._sample(), path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload == graph_to_dict(self._sample())
+
+
+class TestOpenCatalog:
+    def test_handle_answers_like_the_query_layer(self, small_graph, tmp_path):
+        store = tmp_path / "cat"
+        repro.mine(small_graph, min_support=2, k=4, d_max=6, catalog=store)
+        catalog = open_catalog(store)
+        assert len(catalog.top_k(k=2)) == 2
+        assert catalog.top_k(k=2) == catalog.query.top_k(2)
+        (run,) = catalog.runs(kind="result")
+        assert run["num_patterns"] >= 2 and "patterns" not in run
+        record = catalog.top_k(k=1)[0]
+        assert catalog.load_pattern(record).num_vertices == record.num_vertices
+
+    def test_pattern_record_round_trip(self, small_graph, tmp_path):
+        store = tmp_path / "cat"
+        repro.mine(small_graph, min_support=2, k=2, d_max=6, catalog=store)
+        record = open_catalog(store).top_k(k=1)[0]
+        assert repro.PatternRecord.from_dict(record.to_dict()) == record
+
+    def test_open_catalog_never_warns(self, tmp_path, recwarn):
+        open_catalog(tmp_path / "cat").top_k(k=1)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_facade_exported_at_top_level(self):
+        for name in ("mine", "open_catalog", "load_graph", "save_graph", "Catalog"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is getattr(repro.api, name)
+
+    def test_api_all_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name, None) is not None, name
+
+    def test_no_deprecation_warning_on_import(self):
+        # Importing the package must not trip the CatalogQuery shim.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning", "-c", "import repro"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr

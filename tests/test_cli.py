@@ -303,3 +303,39 @@ class TestCatalogCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["catalog", "query", str(tmp_path / "cat"), "--top", "-1"])
         assert "--top must be non-negative" in str(excinfo.value)
+
+    def test_query_json_uses_record_schema(self, tiny_graph_file, tmp_path, capsys):
+        """CLI --json emits exactly PatternRecord.to_dict — the HTTP schema."""
+        from repro.catalog import PatternRecord
+
+        store = str(tmp_path / "catalog")
+        assert main(["mine", str(tiny_graph_file), "--support", "2", "-k", "2",
+                     "--dmax", "2", "--cache", store]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "query", store, "--top", "1", "--json"]) == 0
+        (record,) = json.loads(capsys.readouterr().out)
+        assert set(record) == set(PatternRecord.from_dict(record).to_dict())
+
+
+class TestServeCommand:
+    def test_serve_shares_query_options(self):
+        args = build_parser().parse_args(
+            ["serve", "cat", "--top", "5", "--by", "support", "--label", "A",
+             "--port", "0"]
+        )
+        assert args.command == "serve"
+        assert (args.top, args.by, args.label) == (5, "support", "A")
+        assert args.host == "127.0.0.1" and args.port == 0
+
+    def test_query_and_serve_accept_identical_shared_flags(self):
+        shared = ["--top", "3", "--by", "edges", "--label", "A",
+                  "--run", "abc", "--json"]
+        q = build_parser().parse_args(["catalog", "query", "cat", *shared])
+        s = build_parser().parse_args(["serve", "cat", *shared])
+        for name in ("top", "by", "label", "run", "json"):
+            assert getattr(q, name) == getattr(s, name)
+
+    def test_serve_negative_top_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(tmp_path / "cat"), "--top", "-1"])
+        assert "--top must be non-negative" in str(excinfo.value)

@@ -1,0 +1,239 @@
+"""The persisted needle-side domain index (repro.catalog.pattern_index)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import CachePolicy, SpiderMine, SpiderMineConfig, open_catalog
+from repro.catalog import CatalogStore, code_version
+from repro.catalog.lru import LRUCache
+from repro.catalog.pattern_index import (
+    PATTERN_INDEX_KIND,
+    entry_admits,
+    entry_from_graph,
+    entry_from_pattern_payload,
+    needle_requirements,
+    run_index_from_payload,
+    run_index_payload,
+)
+from repro.graph import LabeledGraph, synthetic_single_graph
+
+
+def path_graph(labels):
+    g = LabeledGraph()
+    for i, label in enumerate(labels):
+        g.add_vertex(i, label)
+    for i in range(len(labels) - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def pattern_payload_for(graph):
+    """A minimal stored-pattern payload (the part the index reads)."""
+    return {
+        "graph": {
+            "vertices": [[str(v), graph.label(v)] for v in sorted(graph.vertices())],
+            "edges": [[str(u), str(v)] for u, v in graph.edges()],
+        }
+    }
+
+
+@pytest.fixture(scope="module")
+def mined_catalog(tmp_path_factory):
+    root = tmp_path_factory.mktemp("index-catalog")
+    graph = synthetic_single_graph(
+        num_vertices=150, num_labels=20, average_degree=2.0,
+        num_large_patterns=1, large_pattern_vertices=9, large_pattern_support=2,
+        num_small_patterns=2, small_pattern_vertices=3, small_pattern_support=2,
+        seed=11,
+    ).graph
+    cfg = SpiderMineConfig(
+        min_support=2, k=4, d_max=6, seed=0, cache=CachePolicy.at(root)
+    )
+    result = SpiderMine(graph, cfg).mine()
+    return CatalogStore(root), result
+
+
+class TestEntryBuilding:
+    def test_payload_and_graph_agree(self):
+        g = path_graph(["A", "B", "A"])
+        from_graph = entry_from_graph(0, g)
+        from_payload = entry_from_pattern_payload(0, pattern_payload_for(g))
+        assert from_graph.num_vertices == from_payload.num_vertices == 3
+        assert from_graph.num_edges == from_payload.num_edges == 2
+        assert from_graph.label_counts == from_payload.label_counts == {"A": 2, "B": 1}
+        for label in ("A", "B"):
+            assert sorted(from_graph.classes[label]) == sorted(
+                from_payload.classes[label]
+            )
+
+    def test_signature_counts_neighbor_labels(self):
+        g = path_graph(["A", "B", "A"])
+        entry = entry_from_graph(0, g)
+        # The middle B vertex sees two A neighbors.
+        assert (2, {"A": 2}) in entry.classes["B"]
+        # End vertices each see one B.
+        assert entry.classes["A"].count((1, {"B": 1})) == 2
+
+
+class TestAdmission:
+    def test_identical_graph_is_admitted(self):
+        g = path_graph(["A", "B", "C"])
+        entry = entry_from_graph(0, g)
+        assert entry_admits(entry, needle_requirements(g), {"A": 1, "B": 1, "C": 1})
+
+    def test_missing_label_rejects(self):
+        entry = entry_from_graph(0, path_graph(["A", "B"]))
+        needle = path_graph(["A", "Z"])
+        assert not entry_admits(entry, needle_requirements(needle), {"A": 1, "Z": 1})
+
+    def test_label_multiplicity_rejects(self):
+        """Injectivity: two needle A's cannot share the pattern's single A."""
+        entry = entry_from_graph(0, path_graph(["A", "B"]))
+        needle = LabeledGraph()
+        needle.add_vertex(0, "A")
+        needle.add_vertex(1, "A")
+        assert not entry_admits(entry, needle_requirements(needle), {"A": 2})
+
+    def test_degree_rejects(self):
+        entry = entry_from_graph(0, path_graph(["A", "B", "A"]))
+        star = LabeledGraph()  # a B with three neighbors: no such vertex exists
+        star.add_vertex(0, "B")
+        for i, label in enumerate(["A", "A", "A"], start=1):
+            star.add_vertex(i, label)
+            star.add_edge(0, i)
+        assert not entry_admits(entry, needle_requirements(star), {"A": 3, "B": 1})
+
+    def test_neighbor_signature_rejects(self):
+        """Degree alone would pass; the neighbor-label multiset catches it."""
+        entry = entry_from_graph(0, path_graph(["A", "B", "A"]))
+        needle = path_graph(["B", "A", "B"])  # needs an A with two B neighbors
+        assert not entry_admits(entry, needle_requirements(needle), {"A": 1, "B": 2})
+
+    def test_empty_needle_has_no_requirements(self):
+        assert needle_requirements(LabeledGraph()) is None
+
+
+class TestSidecarPayload:
+    def test_round_trip(self):
+        g = path_graph(["A", "B", "A"])
+        payload = run_index_payload("run-1", [pattern_payload_for(g)], "1.0")
+        text = json.dumps(payload)  # must be JSON-native throughout
+        entries = run_index_from_payload(json.loads(text), "run-1", "1.0")
+        assert entries is not None and len(entries) == 1
+        expect = entry_from_graph(0, g)
+        assert entries[0].label_counts == expect.label_counts
+        assert sorted(entries[0].classes["A"]) == sorted(expect.classes["A"])
+
+    def test_non_string_labels_survive(self):
+        g = LabeledGraph()
+        g.add_vertex(0, 7)
+        g.add_vertex(1, 7)
+        g.add_edge(0, 1)
+        payload = run_index_payload("run-1", [pattern_payload_for(g)], "1.0")
+        entries = run_index_from_payload(
+            json.loads(json.dumps(payload)), "run-1", "1.0"
+        )
+        assert entries[0].label_counts == {7: 2}
+        assert entry_admits(entries[0], needle_requirements(g), {7: 2})
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda p: p.update(code_version="other"),
+            lambda p: p.update(run_id="someone-else"),
+            lambda p: p.update(kind="result"),
+            lambda p: p.update(format=999),
+            lambda p: p.update(patterns=[{"broken": True}]),
+        ],
+    )
+    def test_stale_or_malformed_reads_as_absent(self, corrupt):
+        payload = run_index_payload(
+            "run-1", [pattern_payload_for(path_graph(["A"]))], "1.0"
+        )
+        corrupt(payload)
+        assert run_index_from_payload(payload, "run-1", "1.0") is None
+
+
+class TestSidecarLifecycle:
+    def test_mining_persists_the_sidecar(self, mined_catalog):
+        store, _ = mined_catalog
+        (run,) = store.list_runs(kind="result")
+        assert store.has_pattern_index(run["run_id"])
+        payload = store.get_pattern_index(run["run_id"])
+        assert payload["kind"] == PATTERN_INDEX_KIND
+        assert payload["code_version"] == code_version()
+        assert len(payload["patterns"]) == run["num_patterns"]
+
+    def test_stale_sidecar_is_rebuilt_and_overwritten(self, mined_catalog):
+        store, _ = mined_catalog
+        (run,) = store.list_runs(kind="result")
+        run_id = run["run_id"]
+        stale = store.get_pattern_index(run_id)
+        stale["code_version"] = "0.0.0"
+        store.put_pattern_index(run_id, stale)
+
+        catalog = open_catalog(store.root)
+        needle = LabeledGraph()
+        needle.add_vertex(0, "no-such-label")
+        catalog.contains(needle)
+        assert catalog.stats.index_builds + catalog.stats.index_loads <= 1
+        # Force an index read even if the needle prefiltered everything.
+        record = catalog.top_k(k=1)[0]
+        catalog.query._run_index(record.run_id)
+        assert catalog.stats.index_builds == 1
+        # Self-healed: the store now holds a current-version sidecar.
+        assert store.get_pattern_index(run_id)["code_version"] == code_version()
+
+    def test_read_only_catalog_never_writes(self, mined_catalog, tmp_path):
+        store, _ = mined_catalog
+        (run,) = store.list_runs(kind="result")
+        run_id = run["run_id"]
+        current = store.get_pattern_index(run_id)
+        stale = dict(current, code_version="0.0.0")
+        store.put_pattern_index(run_id, stale)
+        try:
+            catalog = open_catalog(store.root, read_only=True)
+            catalog.query._run_index(run_id)
+            assert catalog.stats.index_builds == 1
+            assert store.get_pattern_index(run_id)["code_version"] == "0.0.0"
+        finally:
+            store.put_pattern_index(run_id, current)
+
+    def test_gc_drops_orphaned_sidecars(self, tmp_path):
+        store = CatalogStore(tmp_path / "cat")
+        store.put_run("a" * 8, {"x": 1}, {"kind": "result"})
+        store.put_pattern_index("a" * 8, {"kind": PATTERN_INDEX_KIND})
+        store.put_pattern_index("gone", {"kind": PATTERN_INDEX_KIND})
+        removed = store.gc()
+        assert removed["indexes"] == 1
+        assert store.has_pattern_index("a" * 8)
+        assert not store.has_pattern_index("gone")
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_capacity_stores_nothing(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_get_or_build_builds_once(self):
+        cache = LRUCache(4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_build("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
