@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Perf smoke test: graph backends, the parallel engine, the catalog, the
 overlap engine, the candidate-domain subgraph matcher, the vectorized
-numpy kernel layer and the catalog serving tier.
+numpy kernel layer, the catalog serving tier and the telemetry layer.
 
-Seven measurement suites:
+Eight measurement suites:
 
 * **backend** — dict vs csr on (a) a BFS-distance sweep from a fixed sample
   of sources and (b) a light Stage-I spider-mining pass over one
@@ -59,6 +59,16 @@ Seven measurement suites:
   ``BENCH_serving.json``.  Result parity (indexed vs unindexed vs HTTP) is
   asserted before any clock is trusted, the full profile additionally gates
   indexed < cold, and the suite prints ``serve parity: ok`` for CI to grep.
+* **obs** — the ``repro.obs`` telemetry layer's overhead budget: full
+  SpiderMine runs with telemetry off (the ``NullRegistry``/``NullTracer``
+  defaults) vs fully instrumented (live registry *and* span tracer), best-of
+  repeats; written to ``BENCH_obs.json``.  Result digests must be
+  bit-identical across off/metrics/metrics+trace — the suite prints
+  ``telemetry parity: ok`` for the CI gate to grep — and on the full
+  profile the instrumented wall-clock must stay within
+  ``OBS_MAX_OVERHEAD`` (2%) of the uninstrumented run (the quick CI graph
+  mines in well under a second, where scheduler noise dwarfs the
+  instrumentation, so quick only asserts parity).
 
 Run:  python benchmarks/perf_smoke.py             (full, ~minutes)
       python benchmarks/perf_smoke.py --quick     (CI smoke, small graph)
@@ -107,6 +117,7 @@ OVERLAP_RESULT_PATH = REPO_ROOT / "BENCH_overlap_index.json"
 MATCHER_RESULT_PATH = REPO_ROOT / "BENCH_matcher.json"
 KERNELS_RESULT_PATH = REPO_ROOT / "BENCH_kernels.json"
 SERVING_RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
+OBS_RESULT_PATH = REPO_ROOT / "BENCH_obs.json"
 
 #: Repetitions for best-of wall-clock measurements (shared-host noise makes
 #: single-shot comparisons meaningless; the minimum is the honest signal).
@@ -159,6 +170,17 @@ SERVING_PROFILES = {
     "full": (2000, 120, 4, dict(min_support=2, k=6, d_max=6, seed=0), 24),
     "quick": (500, 60, 2, dict(min_support=2, k=4, d_max=6, seed=0), 8),
 }
+
+#: profile -> (graph kwargs like CATALOG_PROFILES, best-of repeat count)
+OBS_PROFILES = {
+    "full": (2000, 120, 4, dict(min_support=2, k=6, d_max=6, seed=0), 3),
+    "quick": (500, 60, 2, dict(min_support=2, k=4, d_max=6, seed=0), 2),
+}
+
+#: Telemetry overhead budget: instrumented mining (live registry + tracer)
+#: may cost at most this fraction over the uninstrumented run, gated on the
+#: full profile only (quick graphs mine too fast to measure 2% honestly).
+OBS_MAX_OVERHEAD = 0.02
 
 #: profile -> (num_vertices, bfs_sources,
 #:             backend stage1 (support, size, emb cap),
@@ -1103,6 +1125,123 @@ def run_serving_suite(profile):
     )
 
 
+def run_obs_suite(profile):
+    """Instrumented vs uninstrumented mining: digest parity + overhead gate."""
+    from repro.obs import MetricsRegistry, Tracer, use_registry, use_tracer
+
+    num_vertices, labels, num_large, mine_kwargs, repeats = OBS_PROFILES[profile]
+    print(
+        f"obs suite: |V|={num_vertices} synthetic graph, best-of-{repeats} "
+        "instrumented vs uninstrumented mine ...",
+        flush=True,
+    )
+    data = synthetic_single_graph(
+        num_vertices=num_vertices,
+        num_labels=labels,
+        average_degree=2.0,
+        num_large_patterns=num_large,
+        large_pattern_vertices=12,
+        large_pattern_support=2,
+        num_small_patterns=4,
+        small_pattern_vertices=3,
+        small_pattern_support=2,
+        seed=SEED,
+    )
+    graph = freeze(data.graph)
+    config = SpiderMineConfig(**mine_kwargs)
+
+    def mine_once(registry=None, tracer=None):
+        with use_registry(registry), use_tracer(tracer):
+            start = time.perf_counter()
+            result = SpiderMine(graph, config).mine()
+            return time.perf_counter() - start, result
+
+    times = {"off": [], "metrics": [], "trace": []}
+    digests = {"off": set(), "metrics": set(), "trace": set()}
+    registry = tracer = None
+    for _ in range(repeats):
+        seconds, result = mine_once()
+        times["off"].append(seconds)
+        digests["off"].add(result.digest())
+
+        seconds, result = mine_once(registry=MetricsRegistry())
+        times["metrics"].append(seconds)
+        digests["metrics"].add(result.digest())
+
+        registry, tracer = MetricsRegistry(), Tracer()
+        seconds, result = mine_once(registry=registry, tracer=tracer)
+        times["trace"].append(seconds)
+        digests["trace"].add(result.digest())
+
+    assert digests["off"] == digests["metrics"] == digests["trace"], (
+        "telemetry parity FAILED: enabling the registry/tracer changed the "
+        f"mining digest ({digests})"
+    )
+    assert len(digests["off"]) == 1, (
+        f"telemetry parity FAILED: mining itself was nondeterministic ({digests})"
+    )
+    # The instrumented runs must actually have instrumented something, or
+    # the overhead number (and the parity) are vacuous.
+    assert registry.flat().get("mine.runs") == 1, "registry never populated"
+    assert [s.name for s in tracer.roots()] == [
+        "mine.stage1",
+        "mine.stage2",
+        "mine.stage3",
+    ], "span tree missing stages"
+
+    plain = min(times["off"])
+    instrumented = min(times["trace"])  # registry AND tracer: the worst case
+    overhead = instrumented / max(plain, 1e-9) - 1.0
+    if profile == "full":
+        assert overhead <= OBS_MAX_OVERHEAD, (
+            f"telemetry overhead regression: instrumented mine "
+            f"{instrumented:.4f}s is {overhead * 100.0:.2f}% over the "
+            f"uninstrumented {plain:.4f}s (budget "
+            f"{OBS_MAX_OVERHEAD * 100.0:.0f}%)"
+        )
+
+    payload = {
+        "benchmark": "obs_perf_smoke",
+        "profile": profile,
+        "graph": {
+            "model": "synthetic_single_graph",
+            "num_vertices": num_vertices,
+            "num_labels": labels,
+            "num_large_patterns": num_large,
+            "seed": SEED,
+        },
+        "mining_config": mine_kwargs,
+        "repeats": repeats,
+        "uninstrumented_seconds": round(plain, 4),
+        "metrics_only_seconds": round(min(times["metrics"]), 4),
+        "instrumented_seconds": round(instrumented, 4),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": OBS_MAX_OVERHEAD,
+        "budget_enforced": profile == "full",
+        "sample_metrics": registry.flat(),
+        "note": (
+            "uninstrumented = NullRegistry/NullTracer defaults (one "
+            "attribute check per instrumented call site); instrumented = "
+            "live MetricsRegistry AND span Tracer (the mine --telemetry "
+            "worst case); best-of-N wall-clock; digests asserted "
+            "bit-identical across off/metrics/metrics+trace before any "
+            "clock is trusted"
+        ),
+    }
+    OBS_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"uninstrumented {plain:.3f}s vs instrumented {instrumented:.3f}s "
+        f"({overhead * 100.0:+.2f}% overhead, budget "
+        f"{OBS_MAX_OVERHEAD * 100.0:.0f}% on full)",
+        flush=True,
+    )
+    # Reached only when every parity assert above passed.
+    print(
+        f"telemetry parity: ok (digest identical off/metrics/trace over "
+        f"{repeats} repeat(s)) — written to {OBS_RESULT_PATH.name}"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1146,6 +1285,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the serving suite (BENCH_serving.json untouched)",
     )
+    parser.add_argument(
+        "--skip-obs",
+        action="store_true",
+        help="skip the telemetry suite (BENCH_obs.json untouched)",
+    )
     args = parser.parse_args(argv)
     profile = "quick" if args.quick else "full"
     num_vertices, _, _, _ = PROFILES[profile]
@@ -1186,6 +1330,8 @@ def main(argv=None) -> int:
         run_kernels_suite(profile)
     if not args.skip_serve:
         run_serving_suite(profile)
+    if not args.skip_obs:
+        run_obs_suite(profile)
     return 0
 
 

@@ -28,6 +28,18 @@ to run SpiderMine, ``open_catalog`` to query or serve stored results, and
 >>> catalog.serve(port=8080)  # HTTP: /runs /top-k /label /contains[/batch]
 ...                                                  # doctest: +SKIP
 
+The serving tier meters itself — ``GET /metrics`` is a flat ``name →
+number`` dump of per-endpoint request counts and latency histograms
+(``GET /stats`` adds the registry snapshot, LRU cache stats and uptime)::
+
+    $ curl -s http://127.0.0.1:8080/metrics
+    {"http.latency_seconds.top_k.count":3, ..., "http.requests.top_k":3}
+
+Mining publishes into the same telemetry layer (:mod:`repro.obs`) when
+asked: ``repro mine ... --telemetry`` prints a per-stage phase-time table
+and persists a run-telemetry sidecar next to the cached result — with
+bit-identical mining output, telemetry on or off.
+
 Without a catalog, mining alone needs no filesystem at all:
 
 >>> result = repro.mine(data.graph, min_support=2, k=5, d_max=8)

@@ -6,6 +6,7 @@ from .reporting import (
     ExperimentRecord,
     RuntimeTable,
     SeriesReport,
+    phase_time_table,
     summarize_results,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "ExperimentRecord",
     "RuntimeTable",
     "SeriesReport",
+    "phase_time_table",
     "summarize_results",
 ]

@@ -112,3 +112,42 @@ class ExperimentRecord:
 def summarize_results(results: Sequence[MiningResult]) -> str:
     """Multi-line summary of several mining results (used by examples and the CLI)."""
     return "\n".join(result.summary() for result in results)
+
+
+def phase_time_table(
+    result: MiningResult,
+    spans: Optional[Sequence] = None,
+    title: str = "Phase times",
+) -> str:
+    """The ``mine --telemetry`` phase-time table.
+
+    Rows come from the run's stage durations
+    (:class:`~repro.core.results.MiningStatistics`); when the tracer's span
+    trees are passed as ``spans`` (:class:`repro.obs.Span` roots), each
+    top-level span adds its per-unit child aggregation — count, child total
+    and self time — so the table shows where a stage's wall-clock went.
+    """
+    durations = result.statistics.stage_durations
+    total = sum(durations.values()) or result.runtime_seconds or 0.0
+    names = ["phase", "seconds", "share"]
+    widths = [max(26, len(n) + 2) for n in names]
+    lines = [title, "-" * sum(widths)]
+    lines.append("".join(n.ljust(w) for n, w in zip(names, widths)))
+
+    def row(phase: str, seconds: float) -> None:
+        share = f"{100.0 * seconds / total:5.1f}%" if total else "-"
+        cells = [phase, f"{seconds:.4f}", share]
+        lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+
+    for name in sorted(durations):
+        row(name, durations[name])
+    row("total", total)
+    for span in spans or ():
+        if not getattr(span, "children", None):
+            continue
+        child_total = span.child_total()
+        lines.append(
+            f"  {span.name}: {len(span.children)} child span(s), "
+            f"{child_total:.4f}s in children, {span.self_time():.4f}s self"
+        )
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Union
 from ..core.results import MiningResult
 from ..graph.io import graph_to_dict
 from ..graph.view import GraphView
+from ..obs import get_registry, get_tracer
 from ..patterns.spider import Spider
 from .formats import (
     FORMAT_VERSION,
@@ -102,6 +103,16 @@ class RunCache:
         # graph itself, which dominates the body's footprint.
         self._graph_body_memo: Dict[int, Dict] = {}
 
+    def to_dict(self) -> Dict[str, int]:
+        """Cache traffic counters (the :class:`~repro.obs.Snapshottable` shape)."""
+        return {"hits": self.hits, "misses": self.misses, "inserts": self.inserts}
+
+    def _count(self, kind: str, outcome: str) -> None:
+        """Mirror one cache event into the telemetry registry (free when off)."""
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(f"cache.{kind}.{outcome}")
+
     def _graph_digest(self, graph: GraphView) -> str:
         entry = self._graph_digest_memo.get(id(graph))
         if entry is not None and entry[0] is graph:
@@ -160,12 +171,14 @@ class RunCache:
             self._discard_graph_body(graph)
         if not self.store.has_run(key.run_id):
             self.misses += 1
+            self._count("result", "misses")
             return None
         try:
             record = self.store.get_run_payload(key.run_id)
             result = result_from_payload(record["result"])
         except (CatalogError, KeyError, TypeError, ValueError):
             self.misses += 1
+            self._count("result", "misses")
             return None
         self._discard_graph_body(graph)
         result.cache_info = {
@@ -174,6 +187,7 @@ class RunCache:
             "store": str(self.store.root),
         }
         self.hits += 1
+        self._count("result", "hits")
         return result
 
     def store_result(self, graph: GraphView, config, result: MiningResult) -> str:
@@ -199,7 +213,33 @@ class RunCache:
             ),
         )
         self.inserts += 1
+        self._count("result", "inserts")
         return key.run_id
+
+    def store_telemetry(self, run_id: str, result: MiningResult) -> Optional[Dict]:
+        """Persist the run-telemetry sidecar for ``run_id``, if telemetry is on.
+
+        Captures the active registry snapshot, the active tracer's span
+        trees, and the run's :class:`~repro.core.results.MiningStatistics`
+        into ``objects/telemetry/<run_id>.json``.  Returns the payload, or
+        ``None`` when both registry and tracer are the null defaults (no
+        sidecar is written — disabled telemetry leaves no residue).
+        """
+        registry = get_registry()
+        tracer = get_tracer()
+        if not (registry.enabled or tracer.enabled):
+            return None
+        payload = {
+            "format": FORMAT_VERSION,
+            "kind": "telemetry",
+            "run_id": run_id,
+            "code_version": code_version(),
+            "metrics": registry.snapshot(),
+            "spans": tracer.to_dict()["spans"],
+            "statistics": result.statistics.to_dict(),
+        }
+        self.store.put_telemetry(run_id, payload)
+        return payload
 
     # ------------------------------------------------------------------ #
     # Stage-I spider sets
@@ -210,6 +250,7 @@ class RunCache:
             self._discard_graph_body(graph)
         if not self.store.has_run(key.run_id):
             self.misses += 1
+            self._count("spiders", "misses")
             return None
         try:
             record = self.store.get_run_payload(key.run_id)
@@ -217,9 +258,11 @@ class RunCache:
         except (CatalogError, KeyError, TypeError, ValueError):
             # Same contract as load_result: broken objects are misses.
             self.misses += 1
+            self._count("spiders", "misses")
             return None
         self._discard_graph_body(graph)
         self.hits += 1
+        self._count("spiders", "hits")
         return spiders
 
     def store_spiders(self, graph: GraphView, config, spiders: List[Spider]) -> str:
@@ -235,4 +278,5 @@ class RunCache:
             self._put_graph_snapshot(graph, key.graph_digest)
         self.store.put_run(key.run_id, record, run_summary_from_record(record))
         self.inserts += 1
+        self._count("spiders", "inserts")
         return key.run_id

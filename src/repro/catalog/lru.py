@@ -94,3 +94,7 @@ class LRUCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
             }
+
+    # The unified Snapshottable spelling (repro.obs); stats() predates it
+    # and stays for existing callers.
+    to_dict = stats

@@ -35,6 +35,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..graph.isomorphism import SubgraphMatcher
 from ..graph.labeled_graph import LabeledGraph
+from ..obs import get_registry
 from ..patterns.pattern import Pattern
 from .formats import pattern_from_payload
 from .lru import LRUCache
@@ -239,6 +240,7 @@ class CatalogQuery:
         and run a real subgraph search.  Results preserve stored-run order
         per needle, exactly like N independent :meth:`containing` calls.
         """
+        registry = get_registry()
         graphs: List[Optional[LabeledGraph]] = []
         requirements: List[Optional[List[Tuple]]] = []
         label_counts: List[Dict] = []
@@ -274,8 +276,12 @@ class CatalogQuery:
             target = self.load_pattern(record).graph
             for i in alive:
                 self.stats.matcher_calls += 1
-                if SubgraphMatcher(graphs[i], target).exists():
+                matcher = SubgraphMatcher(graphs[i], target)
+                if matcher.exists():
                     results[i].append(record)
+                if registry.enabled:
+                    registry.merge_counters("matcher", matcher.stats)
+        self.publish_stats()
         return results
 
     def _containing_unindexed(
@@ -304,6 +310,22 @@ class CatalogQuery:
             if SubgraphMatcher(graph, candidate.graph).exists():
                 matches.append(record)
         return matches
+
+    def publish_stats(self, registry=None) -> None:
+        """Mirror this query's cumulative stats into a telemetry registry.
+
+        Defaults to the process-local registry (free when telemetry is off);
+        the serving tier passes its own server registry so ``/metrics`` and
+        ``/stats`` always reflect the latest :class:`IndexStats` and LRU
+        snapshots (all three satisfy the ``Snapshottable`` shape).  Called
+        after every batch containment pass.
+        """
+        if registry is None:
+            registry = get_registry()
+        if registry.enabled:
+            registry.publish("catalog.index", self.stats)
+            registry.publish("catalog.payload_cache", self._payload_cache)
+            registry.publish("catalog.index_cache", self._index_cache)
 
     # ------------------------------------------------------------------ #
     # materialisation + the persisted pattern index

@@ -37,11 +37,13 @@ import asyncio
 import concurrent.futures
 import json
 import threading
+import time
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..graph.io import graph_from_dict
 from ..graph.labeled_graph import GraphError
+from ..obs import MetricsRegistry, get_logger, get_registry
 from .formats import canonical_json
 from .query import RANKINGS
 
@@ -50,17 +52,30 @@ __all__ = ["CatalogServer", "ServerHandle", "serve"]
 #: Requests larger than this are refused (needle batches are metadata-sized).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed"}
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
 
 ENDPOINTS = {
     "GET /": "this endpoint table",
     "GET /healthz": "liveness + store summary",
+    "GET /metrics": "flat telemetry counter dump",
+    "GET /stats": "registry snapshot + cache stats + uptime",
     "GET /runs": "stored run summaries",
     "GET /top-k": "ranked pattern records (?k=&by=&label=&run=)",
     "GET /label": "records containing a vertex label (?label=&run=)",
     "POST /contains": "records containing the needle graph in the body",
     "POST /contains/batch": "batch containment for many needles in one pass",
 }
+
+#: Endpoints excluded from their own request metrics: probing ``/metrics``
+#: must not change what ``/metrics`` returns, so repeated (and concurrent)
+#: scrapes of an otherwise-idle server are byte-identical.
+_UNMETERED = frozenset({"/metrics", "/stats"})
 
 
 class _HTTPError(Exception):
@@ -92,6 +107,7 @@ class CatalogServer:
         default_by: str = "vertices",
         default_label: Optional[str] = None,
         default_run: Optional[str] = None,
+        access_log: bool = False,
     ) -> None:
         if default_by not in RANKINGS:
             raise ValueError(
@@ -104,7 +120,15 @@ class CatalogServer:
         self.default_by = default_by
         self.default_label = default_label
         self.default_run = default_run
+        self.access_log = access_log
         self.requests_served = 0
+        # Serving always meters itself: reuse an enabled process registry
+        # (so mine + serve telemetry land in one place), else own a private
+        # one — /metrics and /stats are never empty by accident.
+        process_registry = get_registry()
+        self.metrics = process_registry if process_registry.enabled else MetricsRegistry()
+        self._logger = get_logger("serve")
+        self._started_at = time.monotonic()
         self._server: Optional[asyncio.base_events.Server] = None
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=4, thread_name_prefix="repro-serve"
@@ -117,6 +141,7 @@ class CatalogServer:
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         # Resolve the ephemeral port (port=0) to what the OS actually bound.
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -139,12 +164,30 @@ class CatalogServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = time.monotonic()
+        method, path = "-", "-"
         try:
-            status, body = await self._respond(reader)
+            method, path, params, raw_body = await self._read_request(reader)
+            status, body = await self._route(method, path, params, raw_body)
         except _HTTPError as error:
             status, body = error.status, canonical_json({"error": error.message})
         except Exception as error:  # never drop the connection without a reply
             status, body = 500, canonical_json({"error": f"internal error: {error}"})
+            # A swallowed handler exception used to leave a bare 500 and no
+            # trace anywhere; log it structured (endpoint, run id, traceback)
+            # so saturated-server failures are diagnosable from the log.
+            self._logger.error(
+                "unhandled error on %s %s: %s",
+                method,
+                path,
+                error,
+                exc_info=error,
+                extra={
+                    "endpoint": path,
+                    "method": method,
+                    "run": self.default_run,
+                },
+            )
         payload = body.encode("ascii")
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
@@ -164,8 +207,39 @@ class CatalogServer:
             except (ConnectionError, BrokenPipeError):
                 pass
         self.requests_served += 1
+        self._record_request(method, path, status, time.monotonic() - started)
 
-    async def _respond(self, reader: asyncio.StreamReader) -> Tuple[int, str]:
+    def _record_request(
+        self, method: str, path: str, status: int, duration: float
+    ) -> None:
+        """Per-endpoint request/error counters + latency histogram + access log."""
+        if path not in _UNMETERED and path != "-":
+            key = path.strip("/").replace("/", "_").replace("-", "_") or "root"
+            self.metrics.counter("http.requests")
+            self.metrics.counter(f"http.requests.{key}")
+            if status >= 500:
+                self.metrics.counter("http.errors")
+                self.metrics.counter(f"http.errors.{key}")
+            self.metrics.observe(f"http.latency_seconds.{key}", duration)
+        if self.access_log:
+            self._logger.info(
+                "%s %s %d %.1fms",
+                method,
+                path,
+                status,
+                duration * 1000.0,
+                extra={
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "duration_ms": round(duration * 1000.0, 3),
+                },
+            )
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str], bytes]:
+        """Parse one request into (method, normalised path, params, body)."""
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _HTTPError(400, "empty request")
@@ -186,7 +260,7 @@ class CatalogServer:
         body = await reader.readexactly(length) if length else b""
         split = urlsplit(target)
         params = {k: v[-1] for k, v in parse_qs(split.query).items()}
-        return await self._route(method.upper(), split.path, params, body)
+        return method.upper(), split.path.rstrip("/") or "/", params, body
 
     # ------------------------------------------------------------------ #
     # routing
@@ -194,13 +268,20 @@ class CatalogServer:
     async def _route(
         self, method: str, path: str, params: Dict[str, str], body: bytes
     ) -> Tuple[int, str]:
-        path = path.rstrip("/") or "/"
         if path == "/":
             self._require(method, "GET")
             return 200, canonical_json({"service": "repro-catalog", "endpoints": ENDPOINTS})
         if path == "/healthz":
             self._require(method, "GET")
             return 200, canonical_json(self._healthz())
+        if path == "/metrics":
+            self._require(method, "GET")
+            self.catalog.query.publish_stats(self.metrics)
+            return 200, canonical_json(self.metrics.flat())
+        if path == "/stats":
+            self._require(method, "GET")
+            self.catalog.query.publish_stats(self.metrics)
+            return 200, canonical_json(self._stats())
         if path == "/runs":
             self._require(method, "GET")
             return 200, canonical_json(self.catalog.runs(kind=params.get("kind")))
@@ -256,6 +337,20 @@ class CatalogServer:
             "code_version": code_version(),
             "num_runs": len(self.catalog.runs()),
             "requests_served": self.requests_served,
+        }
+
+    def _stats(self) -> Dict:
+        """The ``/stats`` body: full registry snapshot + caches + uptime."""
+        query = self.catalog.query
+        return {
+            "metrics": self.metrics.snapshot(),
+            "caches": {
+                "payload": query._payload_cache.to_dict(),
+                "index": query._index_cache.to_dict(),
+            },
+            "index_stats": query.stats.to_dict(),
+            "requests_served": self.requests_served,
+            "uptime_seconds": int(time.monotonic() - self._started_at),
         }
 
     @staticmethod

@@ -64,6 +64,7 @@ class CatalogStore:
         self.graphs_dir = self.objects_dir / "graphs"
         self.runs_dir = self.objects_dir / "runs"
         self.indexes_dir = self.objects_dir / "indexes"
+        self.telemetry_dir = self.objects_dir / "telemetry"
 
     # ------------------------------------------------------------------ #
     # index handling
@@ -268,6 +269,39 @@ class CatalogStore:
             pass
 
     # ------------------------------------------------------------------ #
+    # run-telemetry sidecars (derived observability data)
+    # ------------------------------------------------------------------ #
+    def put_telemetry(self, run_id: str, payload: Dict) -> None:
+        """Store the run-telemetry sidecar (metrics snapshot + span tree).
+
+        Same contract as the pattern-index sidecar: derived data keyed like
+        its run, untracked in ``catalog.json``, excluded from cache keys —
+        losing one loses diagnostics for that run, never correctness.
+        """
+        self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self.telemetry_dir / f"{run_id}.json",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+
+    def has_telemetry(self, run_id: str) -> bool:
+        return (self.telemetry_dir / f"{run_id}.json").exists()
+
+    def get_telemetry(self, run_id: str) -> Optional[Dict]:
+        """The telemetry sidecar, or ``None`` when missing or unreadable."""
+        path = self.telemetry_dir / f"{run_id}.json"
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def drop_telemetry(self, run_id: str) -> None:
+        try:
+            (self.telemetry_dir / f"{run_id}.json").unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
     # garbage collection
     # ------------------------------------------------------------------ #
     def gc(self) -> Dict[str, int]:
@@ -284,14 +318,22 @@ class CatalogStore:
         3. *unpinned* graphs referenced by no run are deleted — pinned graphs
            (explicit ``catalog ingest``) always survive.  Recovered graphs
            come back unpinned, so an orphaned snapshot still ages out here;
-        4. pattern-index sidecars whose run is gone are deleted.  Sidecars are
-           derived data (rebuildable from the run payload), so gc never tries
-           to recover them.
+        4. pattern-index and telemetry sidecars whose run is gone are
+           deleted.  Sidecars are derived data (a pattern index is
+           rebuildable from the run payload, telemetry is diagnostics), so
+           gc never tries to recover them.
 
         Returns removal/recovery counters.
         """
         index = self._load_index()
-        removed = {"runs": 0, "graphs": 0, "stray_files": 0, "recovered": 0, "indexes": 0}
+        removed = {
+            "runs": 0,
+            "graphs": 0,
+            "stray_files": 0,
+            "recovered": 0,
+            "indexes": 0,
+            "telemetry": 0,
+        }
 
         # 1 + 2 for runs: drop dead entries, then recover or delete strays.
         for run_id in list(index["runs"]):
@@ -364,6 +406,11 @@ class CatalogStore:
                 if path.stem not in index["runs"]:
                     path.unlink()
                     removed["indexes"] += 1
+        if self.telemetry_dir.is_dir():
+            for path in self.telemetry_dir.glob("*.json"):
+                if path.stem not in index["runs"]:
+                    path.unlink()
+                    removed["telemetry"] += 1
 
         self._save_index(index)
         return removed

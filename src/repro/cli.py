@@ -32,6 +32,7 @@ from .catalog.query import RANKINGS
 from .core import CachePolicy, SpiderMine, SpiderMineConfig, mine_spiders
 from .datasets import generate_gid
 from .graph import GRAPH_BACKENDS, GraphView, io as graph_io
+from .obs import configure_logging, enable_metrics, enable_tracing, get_tracer
 from .parallel import ExecutionPolicy
 
 
@@ -89,6 +90,11 @@ def _cache_policy(args: argparse.Namespace) -> CachePolicy:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     execution = _execution_policy(args)
+    if args.telemetry:
+        # Telemetry never reaches the config (and so never the cache keys):
+        # it lives in the process-local obs globals, provably result-neutral.
+        enable_metrics()
+        enable_tracing()
     graph = _load_graph(args.graph, backend=args.backend)
     config = SpiderMineConfig(
         min_support=args.support,
@@ -101,6 +107,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         cache=_cache_policy(args),
     )
     result = SpiderMine(graph, config).mine()
+    if args.telemetry:
+        from .analysis import phase_time_table
+
+        print(phase_time_table(result, spans=get_tracer().roots()))
     if result.cache_info is not None:
         status = result.cache_info["status"]
         run_id = result.cache_info.get("run_id", "")
@@ -245,6 +255,7 @@ def _cmd_catalog_gc(args: argparse.Namespace) -> int:
     removed = CatalogStore(args.store).gc()
     print(f"gc: removed {removed['runs']} run(s), {removed['graphs']} graph(s), "
           f"{removed['indexes']} index sidecar(s), "
+          f"{removed['telemetry']} telemetry sidecar(s), "
           f"{removed['stray_files']} stray file(s); "
           f"recovered {removed['recovered']} unindexed object(s)")
     return 0
@@ -260,6 +271,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_by=args.by,
         default_label=args.label,
         default_run=args.run,
+        access_log=args.access_log,
     )
     return 0
 
@@ -274,6 +286,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="version",
         version=f"spidermine-repro {__version__}",
         help="print the installed package version and exit",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        dest="log_json",
+        help="emit log records as structured JSON lines (one object per line) "
+             "instead of plain text",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable span tracing: phase timers are collected as a span tree "
+             "and logged at TRACE level as they close",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -319,6 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
         dest="cache_mode",
         help="readwrite serves hits and stores misses (default); readonly "
              "never writes; refresh always re-mines and overwrites",
+    )
+    mine.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect metrics + phase spans during the mine and print a "
+             "phase-time table; results are bit-identical either way, and "
+             "with --cache the telemetry persists as a run sidecar",
     )
     add_backend_option(mine)
     mine.set_defaults(func=_cmd_mine)
@@ -417,6 +449,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "in containers)")
     serve_cmd.add_argument("--port", type=int, default=8080,
                            help="TCP port (default 8080; 0 picks a free port)")
+    serve_cmd.add_argument("--access-log", action="store_true", dest="access_log",
+                           help="log one line per HTTP request (method, path, "
+                                "status, duration ms); off by default so perf "
+                                "numbers are unaffected")
     serve_cmd.set_defaults(func=_cmd_serve)
 
     return parser
@@ -425,6 +461,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Wire the repro logger for every command: plain text at INFO by
+    # default, JSON lines with --log-json, TRACE-level span records with
+    # --trace.  Re-invocations replace the handler, never stack it.
+    configure_logging(json_lines=args.log_json, trace=args.trace)
+    if args.trace:
+        enable_tracing()
     try:
         return args.func(args)
     except (CatalogError, CatalogFormatError) as error:

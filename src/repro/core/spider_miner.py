@@ -30,12 +30,14 @@ process-pool runs are bit-identical for a fixed seed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from ..graph.isomorphism import SubgraphMatcher
 from ..graph.labeled_graph import LabeledGraph, Vertex
 from ..graph.view import GraphView
+from ..obs import get_registry, get_tracer
 from ..patterns.embedding import Embedding
 from ..patterns.spider import Spider, head_distinguished_code
 from ..patterns.support import SupportMeasure, is_frequent
@@ -115,6 +117,10 @@ class SpiderMiner:
         else:
             unit_levels = self._mine_units_serial()
         spiders = merge_unit_levels(unit_levels, self.config.max_spiders)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("mine.stage1.units", len(unit_levels))
+            registry.counter("mine.stage1.spiders", len(spiders))
         if cache is not None and policy.writes:
             cache.store_spiders(self.graph, self.config, spiders)
         return spiders
@@ -135,16 +141,36 @@ class SpiderMiner:
         unit_levels: Dict[int, List[List[Spider]]] = {unit: [] for unit in searches}
         active = sorted(searches)
         total = 0
+        # The round-robin interleave means no per-unit block of code to wrap
+        # in a span: per-unit time is accumulated across level steps and
+        # emitted as synthetic completed spans afterwards (Tracer.record).
+        tracer = get_tracer()
+        timing = tracer.enabled
+        elapsed: Dict[int, float] = {}
         while active and total < cap:
             still_active = []
             for unit in active:
+                if timing:
+                    step_start = time.monotonic()
                 bucket = next(searches[unit], None)
+                if timing:
+                    elapsed[unit] = (
+                        elapsed.get(unit, 0.0) + time.monotonic() - step_start
+                    )
                 if bucket is None:
                     continue
                 unit_levels[unit].append(bucket)
                 total += len(bucket)
                 still_active.append(unit)
             active = still_active
+        if timing:
+            for unit in sorted(elapsed):
+                tracer.record(
+                    "mine.stage1.unit",
+                    elapsed[unit],
+                    unit=unit,
+                    spiders=sum(len(bucket) for bucket in unit_levels[unit]),
+                )
         return unit_levels
 
     def unit_labels(self) -> List[Hashable]:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from ..graph.algorithms import diameter as graph_diameter
 from ..graph.view import GraphView
+from ..obs import get_registry, get_tracer
 from ..patterns.pattern import Pattern
 from ..patterns.spider import Spider
 from .config import SpiderMineConfig
@@ -90,6 +91,10 @@ class SpiderMine:
                 "run_id": run_id,
                 "store": str(policy.directory),
             }
+            # Telemetry rides as a sidecar of the stored run: written only
+            # when a live registry/tracer is installed, never part of the
+            # cache key, gc-collected with its run.
+            cache.store_telemetry(run_id, result)
         else:
             result.cache_info = {"status": "miss", "store": str(policy.directory)}
         return result
@@ -104,20 +109,25 @@ class SpiderMine:
         """
         config = self.config
         statistics = MiningStatistics()
+        tracer = get_tracer()
         # Re-arm the seed RNG so repeated mine() calls on one instance are
         # deterministic — required for the cached == fresh parity guarantee.
         self._rng = random.Random(config.seed)
         start = time.perf_counter()
 
         # Stage I ---------------------------------------------------------
-        with stage_timer(statistics, "stage1_spiders"):
+        with stage_timer(statistics, "stage1_spiders"), tracer.span(
+            "mine.stage1", radius=config.radius
+        ):
             self.spiders = SpiderMiner(self.graph, config, run_cache=run_cache).mine()
         statistics.num_spiders = len(self.spiders)
         spider_index = build_spider_index(self.spiders)
         engine = GrowthEngine(self.graph, spider_index, config)
 
         # Stage II --------------------------------------------------------
-        with stage_timer(statistics, "stage2_identification"):
+        with stage_timer(statistics, "stage2_identification"), tracer.span(
+            "mine.stage2"
+        ) as stage2_span:
             seeds = self._draw_seeds()
             statistics.num_seeds = len(seeds)
             entries = engine.seed_entries(seeds)
@@ -129,11 +139,12 @@ class SpiderMine:
             merged_entries = {code: e for code, e in entries.items() if e.merged}
             if not merged_entries and config.keep_unmerged_if_empty:
                 merged_entries = entries
+            stage2_span.annotate(seeds=statistics.num_seeds, merges=engine.merge_events)
         statistics.num_merges = engine.merge_events
 
         # Stage III -------------------------------------------------------
         archive: Dict[str, CandidateEntry] = dict(merged_entries)
-        with stage_timer(statistics, "stage3_recovery"):
+        with stage_timer(statistics, "stage3_recovery"), tracer.span("mine.stage3"):
             entries = merged_entries
             for _ in range(config.max_growth_iterations):
                 if not entries:
@@ -156,6 +167,10 @@ class SpiderMine:
 
         patterns = self._report(archive)
         runtime = time.perf_counter() - start
+        registry = get_registry()
+        if registry.enabled:
+            registry.publish("mine.statistics", statistics)
+            registry.counter("mine.runs")
         return MiningResult(
             algorithm="SpiderMine",
             patterns=patterns,

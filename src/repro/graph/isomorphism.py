@@ -115,6 +115,16 @@ class MatcherStats:
     #: backtracking searches actually started
     searches: int = 0
 
+    def to_dict(self) -> Dict[str, int]:
+        """Counters as a JSON-ready dict (the :class:`~repro.obs.Snapshottable` shape)."""
+        return {
+            "candidate_tests": self.candidate_tests,
+            "domain_prunes": self.domain_prunes,
+            "pool_fallbacks": self.pool_fallbacks,
+            "empty_domain_cutoffs": self.empty_domain_cutoffs,
+            "searches": self.searches,
+        }
+
 
 class SubgraphMatcher:
     """Enumerates embeddings of ``pattern`` in ``target``.

@@ -1,0 +1,272 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a lock-protected bag of named series.  Names
+are flat dotted strings following the span naming scheme
+(``layer.stage.unit`` — e.g. ``cache.result.hits``,
+``http.latency_seconds.top_k``); there are no label dimensions, which keeps
+``snapshot()`` a plain deterministic dict and the hot-path cost one dict
+update under one lock.
+
+The default registry is :class:`NullRegistry` — every method is a no-op and
+``enabled`` is ``False``, so instrumented call sites guard with::
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("cache.result.hits")
+
+which costs one attribute check when telemetry is off.  Nothing in this
+module is ever consulted by the miners' algorithms: telemetry is provably
+result-neutral (see ``tests/test_obs_parity.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+try:  # pragma: no cover - Protocol exists on every supported Python (3.8+)
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Snapshottable",
+    "enable_metrics",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds, in seconds — a latency-shaped
+#: exponential ladder from 1ms to 10s.  Values above the last bound land in
+#: the implicit +Inf overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """Anything that can dump its counters as a JSON-ready dict.
+
+    The one shape shared by every stats object in the system
+    (``MatcherStats``, ``IndexStats``, ``MiningStatistics``,
+    ``LRUCache``): a ``to_dict()`` whose values are scalars (or nested
+    dicts of scalars, which :meth:`MetricsRegistry.publish` flattens).
+    """
+
+    def to_dict(self) -> Dict[str, object]: ...  # pragma: no cover - protocol
+
+
+class Histogram:
+    """A fixed-bucket histogram: cumulative-friendly counts plus sum/count.
+
+    ``buckets`` are the sorted upper bounds (inclusive); one extra overflow
+    bucket catches everything above the last bound.  Bucketing is a single
+    ``bisect`` — no allocation per observation.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets) or not self.buckets:
+            raise ValueError("histogram buckets must be a non-empty sorted sequence")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class NullRegistry:
+    """The disabled default: every operation is a no-op.
+
+    Shares the :class:`MetricsRegistry` surface so call sites never branch
+    on the registry *type* — only, optionally, on ``enabled`` (one attribute
+    check, the documented hot-path budget of disabled telemetry).
+    """
+
+    enabled = False
+
+    def counter(self, name: str, value: Number = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: Number) -> None:
+        pass
+
+    def observe(self, name: str, value: Number,
+                buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        pass
+
+    def publish(self, prefix: str, stats: "Snapshottable") -> None:
+        pass
+
+    def merge_counters(self, prefix: str, stats: "Snapshottable") -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def flat(self) -> Dict[str, Number]:
+        return {}
+
+
+class MetricsRegistry(NullRegistry):
+    """A live, lock-protected registry of counters, gauges and histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Number] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` (default 1) to the monotonically increasing series."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set a point-in-time value (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: Number,
+                buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        """Record one sample into the named fixed-bucket histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(buckets)
+            histogram.observe(value)
+
+    # ------------------------------------------------------------------ #
+    # Snapshottable bridging
+    # ------------------------------------------------------------------ #
+    def publish(self, prefix: str, stats: Snapshottable) -> None:
+        """Mirror a cumulative stats object into gauges under ``prefix``.
+
+        For stats that are themselves running totals (``IndexStats``,
+        ``LRUCache.to_dict()``, ``MiningStatistics``): re-publishing
+        overwrites, so the registry always shows the latest snapshot.
+        Nested dicts flatten with dotted keys; non-numeric values are
+        skipped (they belong in logs, not metrics).
+        """
+        for key, value in _flatten(stats.to_dict()):
+            self.gauge(f"{prefix}.{key}", value)
+
+    def merge_counters(self, prefix: str, stats: Snapshottable) -> None:
+        """Accumulate a per-instance stats object into counters.
+
+        For short-lived stats (one :class:`MatcherStats` per matcher): each
+        merge *adds*, so the registry totals work across every instance.
+        """
+        for key, value in _flatten(stats.to_dict()):
+            self.counter(f"{prefix}.{key}", value)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Dict]:
+        """Deterministic JSON-ready dump (all series, sorted names)."""
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k] for k in sorted(self._counters)},
+                "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+                "histograms": {
+                    k: self._histograms[k].to_dict()
+                    for k in sorted(self._histograms)
+                },
+            }
+
+    def flat(self) -> Dict[str, Number]:
+        """One flat name → number dict (the ``/metrics`` wire shape).
+
+        Histograms contribute ``<name>.count`` and ``<name>.sum``; bucket
+        vectors stay in :meth:`snapshot` (the ``/stats`` shape).
+        """
+        with self._lock:
+            out: Dict[str, Number] = {}
+            out.update(self._counters)
+            out.update(self._gauges)
+            for name, histogram in self._histograms.items():
+                out[f"{name}.count"] = histogram.count
+                out[f"{name}.sum"] = histogram.total
+            return {k: out[k] for k in sorted(out)}
+
+
+def _flatten(data: Dict[str, object], prefix: str = "") -> Iterator[Tuple[str, Number]]:
+    for key in sorted(data, key=repr):
+        value = data[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            yield name, value
+        elif isinstance(value, dict):
+            yield from _flatten(value, prefix=f"{name}.")
+
+
+# ---------------------------------------------------------------------- #
+# the process-local registry
+# ---------------------------------------------------------------------- #
+_NULL_REGISTRY = NullRegistry()
+_registry: NullRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> NullRegistry:
+    """The active registry (a :class:`NullRegistry` unless enabled)."""
+    return _registry
+
+
+def set_registry(registry: Optional[NullRegistry]) -> NullRegistry:
+    """Install ``registry`` (``None`` restores the null default); returns the old one."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else _NULL_REGISTRY
+    return previous
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install and return a fresh live registry (idempotent convenience)."""
+    registry = MetricsRegistry()
+    set_registry(registry)
+    return registry
+
+
+@contextmanager
+def use_registry(registry: Optional[NullRegistry]) -> Iterator[NullRegistry]:
+    """Scoped :func:`set_registry`: restores the previous registry on exit."""
+    previous = set_registry(registry)
+    try:
+        yield _registry
+    finally:
+        set_registry(previous)

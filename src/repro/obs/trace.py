@@ -1,0 +1,329 @@
+"""Span-tree phase timers and structured logging for the ``repro`` pipeline.
+
+A :class:`Tracer` turns nested ``with span("mine.stage1"):`` blocks into a
+structured tree of :class:`Span` records: monotonic-clock durations, child
+aggregation, JSON-ready ``to_dict()``/``from_dict()`` so worker processes
+can ship their subtrees back to the driver (``Tracer.attach``).  Two entry
+points cover code that cannot use a context manager:
+
+* ``tracer.record(name, duration, **attrs)`` emits a synthetic completed
+  span — the serial Stage-I loop interleaves unit generators round-robin,
+  so per-unit time is accumulated and recorded after the fact;
+* ``tracer.attach(span)`` grafts an already-built tree (a worker's) under
+  the current span.
+
+The default tracer is :class:`NullTracer` (``enabled`` is ``False``, spans
+are a shared no-op context manager), matching the metrics layer's
+free-when-off budget.  Logging rides the stdlib: :func:`configure_logging`
+wires the ``repro`` logger — optionally as structured JSON lines — and
+registers the custom ``TRACE`` level (5, below ``DEBUG``) that span
+closures log at when tracing is verbose.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "TRACE",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "enable_tracing",
+    "get_logger",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_tracer",
+]
+
+#: Custom log level for span-closure records: more verbose than DEBUG.
+TRACE = 5
+logging.addLevelName(TRACE, "TRACE")
+
+_LOGGER_ROOT = "repro"
+
+
+# ---------------------------------------------------------------------- #
+# spans
+# ---------------------------------------------------------------------- #
+@dataclass
+class Span:
+    """One timed phase: a name, flat attrs, a duration, and child spans."""
+
+    name: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    duration: float = 0.0
+    children: List["Span"] = field(default_factory=list)
+
+    def annotate(self, **attrs: object) -> "Span":
+        """Attach extra attributes to an open (or finished) span."""
+        self.attrs.update(attrs)
+        return self
+
+    def child_total(self) -> float:
+        """Sum of direct children's durations (aggregation helper)."""
+        return sum(child.duration for child in self.children)
+
+    def self_time(self) -> float:
+        """Time spent in this span outside any child (never below zero)."""
+        return max(0.0, self.duration - self.child_total())
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """Depth-first walk over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"name": self.name, "duration": self.duration}
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Span":
+        return cls(
+            name=str(payload["name"]),
+            attrs=dict(payload.get("attrs", {})),  # type: ignore[arg-type]
+            duration=float(payload.get("duration", 0.0)),  # type: ignore[arg-type]
+            children=[
+                cls.from_dict(child)
+                for child in payload.get("children", ())  # type: ignore[union-attr]
+            ],
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: context manager + inert ``annotate``."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, object] = {}
+    duration = 0.0
+    children: List[Span] = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def annotate(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled default: spans cost one attribute check and a yield."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name: str, duration: float, **attrs: object) -> None:
+        pass
+
+    def attach(self, tree: Span) -> None:
+        pass
+
+    def roots(self) -> List[Span]:
+        return []
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spans": []}
+
+
+class Tracer(NullTracer):
+    """A live tracer: per-thread span stacks feeding one shared root list.
+
+    Each thread nests independently (the asyncio server and worker threads
+    never interleave each other's trees); completed top-level spans append
+    to the shared ``roots`` list under a lock.  Span closures log at
+    ``TRACE`` level — free unless a handler opted into that verbosity.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._logger = logging.getLogger(f"{_LOGGER_ROOT}.trace")
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _close(self, node: Span) -> None:
+        stack = self._stack()
+        stack.pop()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            with self._lock:
+                self._roots.append(node)
+        if self._logger.isEnabledFor(TRACE):
+            self._logger.log(
+                TRACE,
+                "span %s %.6fs",
+                node.name,
+                node.duration,
+                extra={"span": node.name, "duration": node.duration,
+                       "attrs": dict(node.attrs)},
+            )
+
+    @contextmanager  # type: ignore[override]
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        node = Span(name=name, attrs=dict(attrs))
+        self._stack().append(node)
+        started = time.monotonic()
+        try:
+            yield node
+        finally:
+            node.duration = time.monotonic() - started
+            self._close(node)
+
+    def record(self, name: str, duration: float, **attrs: object) -> None:
+        """Emit a synthetic completed span under the current nesting."""
+        node = Span(name=name, attrs=dict(attrs), duration=float(duration))
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            with self._lock:
+                self._roots.append(node)
+
+    def attach(self, tree: Span) -> None:
+        """Graft an already-built span tree (e.g. a worker's) in place."""
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(tree)
+        else:
+            with self._lock:
+                self._roots.append(tree)
+
+    def roots(self) -> List[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spans": [root.to_dict() for root in self.roots()]}
+
+
+# ---------------------------------------------------------------------- #
+# the process-local tracer
+# ---------------------------------------------------------------------- #
+_NULL_TRACER = NullTracer()
+_tracer: NullTracer = _NULL_TRACER
+
+
+def get_tracer() -> NullTracer:
+    """The active tracer (a :class:`NullTracer` unless enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[NullTracer]) -> NullTracer:
+    """Install ``tracer`` (``None`` restores the null default); returns the old one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else _NULL_TRACER
+    return previous
+
+
+def enable_tracing() -> Tracer:
+    """Install and return a fresh live tracer."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+@contextmanager
+def use_tracer(tracer: Optional[NullTracer]) -> Iterator[NullTracer]:
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield _tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the active tracer (module-level convenience)."""
+    return _tracer.span(name, **attrs)
+
+
+# ---------------------------------------------------------------------- #
+# logging
+# ---------------------------------------------------------------------- #
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg, plus structured extras."""
+
+    _SKIP = frozenset(vars(logging.LogRecord("", 0, "", 0, "", (), None))) | {
+        "message", "asctime", "taskName",
+    }
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in self._SKIP and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["traceback"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger('serve')``)."""
+    return logging.getLogger(f"{_LOGGER_ROOT}.{name}" if name else _LOGGER_ROOT)
+
+
+def configure_logging(
+    json_lines: bool = False,
+    trace: bool = False,
+    stream: Optional[io.TextIOBase] = None,
+    level: Optional[int] = None,
+) -> logging.Logger:
+    """Wire the ``repro`` logger tree: one stream handler, optional JSON lines.
+
+    ``trace=True`` lowers the threshold to the ``TRACE`` level so span
+    closures are logged; otherwise ``level`` (default ``INFO``) applies.
+    Re-configuring replaces the handler installed by a previous call, so
+    tests and repeated CLI invocations don't stack duplicates.
+    """
+    logger = logging.getLogger(_LOGGER_ROOT)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)  # None -> sys.stderr
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    if json_lines:
+        handler.setFormatter(_JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    logger.addHandler(handler)
+    logger.setLevel(TRACE if trace else (logging.INFO if level is None else level))
+    logger.propagate = False
+    return logger

@@ -21,6 +21,7 @@ closed and unlinked on every exit path, so no ``/dev/shm`` segments leak.
 from __future__ import annotations
 
 import gc
+import time
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +29,7 @@ import multiprocessing
 
 from ..graph.frozen import freeze
 from ..graph.view import GraphView
+from ..obs import Span, get_tracer
 from ..patterns.spider import Spider
 from .policy import ExecutionPolicy
 from .shared_graph import AttachedGraph, SharedGraphHandle, attach_shared_graph, export_shared_graph
@@ -115,22 +117,34 @@ def mine_units_in_processes(
     start_method = policy.resolved_start_method()
     _require_cross_process_determinism(frozen, start_method)
     handle, segment = export_shared_graph(frozen)
+    tracer = get_tracer()
     unit_levels: Dict[int, List[List[Spider]]] = {}
+    unit_spans: Dict[int, Dict] = {}
     try:
         context = multiprocessing.get_context(start_method)
         with context.Pool(
             processes=min(policy.n_workers, len(chunks)),
             initializer=_worker_initializer,
-            initargs=(handle, worker_config),
+            initargs=(handle, worker_config, tracer.enabled),
         ) as pool:
             # Pool.map re-raises a failing chunk's original exception here in
             # the parent; the with-block then terminates the remaining
             # workers and the finally below releases the shared segment.
             for chunk_result in pool.map(_mine_chunk, chunks, chunksize=1):
-                unit_levels.update(chunk_result)
+                for unit, levels, span_payload in chunk_result:
+                    unit_levels[unit] = levels
+                    if span_payload is not None:
+                        unit_spans[unit] = span_payload
     finally:
         segment.close()
         segment.unlink()
+    if tracer.enabled:
+        # Workers ship their per-unit span trees back with the results; the
+        # driver grafts them in canonical unit order so the merged tree is
+        # independent of chunk scheduling (same determinism story as the
+        # spider merge itself).
+        for unit in sorted(unit_spans):
+            tracer.attach(Span.from_dict(unit_spans[unit]))
     return unit_levels
 
 
@@ -140,7 +154,7 @@ def mine_units_in_processes(
 _worker_state: Dict[str, object] = {}
 
 
-def _worker_initializer(handle: SharedGraphHandle, config) -> None:
+def _worker_initializer(handle: SharedGraphHandle, config, telemetry: bool = False) -> None:
     """Attach the shared graph once per worker and build its miner.
 
     Never raises: ``multiprocessing.Pool`` respawns a worker whose
@@ -156,6 +170,7 @@ def _worker_initializer(handle: SharedGraphHandle, config) -> None:
         attached = attach_shared_graph(handle)
         _worker_state["attached"] = attached
         _worker_state["miner"] = SpiderMiner(attached.graph, config)
+        _worker_state["telemetry"] = bool(telemetry)
     except BaseException as error:  # noqa: BLE001 - re-raised by the first task
         _worker_state["setup_error"] = error
         return
@@ -179,10 +194,33 @@ def _worker_shutdown() -> None:
             pass
 
 
-def _mine_chunk(units: Sequence[int]) -> List[Tuple[int, List[List[Spider]]]]:
-    """Mine one chunk of unit indices in this worker."""
+def _mine_chunk(
+    units: Sequence[int],
+) -> List[Tuple[int, List[List[Spider]], Optional[Dict]]]:
+    """Mine one chunk of unit indices in this worker.
+
+    Each tuple carries the unit's per-level buckets plus — when the parent
+    had tracing on — a serialised per-unit span tree for the driver to
+    graft (``None`` otherwise, so disabled telemetry ships zero extra bytes
+    through the result pickles).
+    """
     setup_error = _worker_state.get("setup_error")
     if setup_error is not None:
         raise setup_error
     miner = _worker_state["miner"]
-    return [(unit, miner.mine_unit(unit)) for unit in units]
+    if not _worker_state.get("telemetry"):
+        return [(unit, miner.mine_unit(unit), None) for unit in units]
+    results = []
+    for unit in units:
+        started = time.monotonic()
+        levels = miner.mine_unit(unit)
+        span = Span(
+            name="mine.stage1.unit",
+            attrs={
+                "unit": unit,
+                "spiders": sum(len(bucket) for bucket in levels),
+            },
+            duration=time.monotonic() - started,
+        )
+        results.append((unit, levels, span.to_dict()))
+    return results

@@ -49,6 +49,7 @@ from ..graph.algorithms import (
     exact_maximum_independent_set,
 )
 from ..graph.labeled_graph import LabeledGraph
+from ..obs import get_registry
 from .embedding import Embedding
 
 #: Largest conflict graph solved with exact branch-and-bound MIS; bigger
@@ -194,6 +195,10 @@ class EmbeddingIndex:
         fill the identical adjacency dict (scalar fallback retained below).
         """
         n = len(self)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("overlap.conflict_builds")
+            registry.counter("overlap.embeddings", n)
         conflict: ConflictGraph = {i: set() for i in range(n)}
         postings = self.postings(edge_based).values()
         if kernels.numpy_available() and n >= 2:
