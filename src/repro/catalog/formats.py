@@ -90,6 +90,21 @@ STAGE2_ONLY_CONFIG_FIELDS = frozenset({
     "min_vertices_reported",
 })
 
+#: Config fields Stage I reads — the complement of the two sets above, spelt
+#: out so the three-way classification is *total* and checkable.  The runtime
+#: payload builders stay deny-list-based (see :func:`stage1_config_payload`);
+#: this set exists so every config field has exactly one declared home, which
+#: ``reprolint``'s CACHE001 rule (and the drift-guard test built on it)
+#: enforces against :class:`repro.core.config.SpiderMineConfig`.
+STAGE1_CONFIG_FIELDS = frozenset({
+    "min_support",
+    "radius",
+    "max_spider_size",
+    "max_spiders",
+    "max_embeddings_per_pattern",
+    "support_measure",
+})
+
 #: Parameter keys that record *how* a run executed rather than *what* it
 #: produced; stripped before digesting a result.
 _VOLATILE_PARAMETER_KEYS = ("execution_mode", "workers")

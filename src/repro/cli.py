@@ -32,6 +32,7 @@ from .catalog.query import RANKINGS
 from .core import CachePolicy, SpiderMine, SpiderMineConfig, mine_spiders
 from .datasets import generate_gid
 from .graph import GRAPH_BACKENDS, GraphView, io as graph_io
+from .lint.cli import add_lint_arguments, run_from_args as _run_lint_from_args
 from .obs import configure_logging, enable_metrics, enable_tracing, get_tracer
 from .parallel import ExecutionPolicy
 
@@ -276,6 +277,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _run_lint_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spidermine",
@@ -454,6 +459,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "status, duration ms); off by default so perf "
                                 "numbers are unaffected")
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="run reprolint, the AST-based invariant checker (determinism, "
+             "cache-key partition, telemetry neutrality, lock discipline, "
+             "kernel dispatch)",
+    )
+    add_lint_arguments(lint_cmd)
+    lint_cmd.set_defaults(func=_cmd_lint)
 
     return parser
 

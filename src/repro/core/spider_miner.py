@@ -282,7 +282,7 @@ class SpiderMiner:
             used = set(mapping.values())
             for p_vertex in attach_points:
                 g_vertex = mapping[p_vertex]
-                for neighbor in self.graph.neighbors(g_vertex):
+                for neighbor in sorted(self.graph.neighbors(g_vertex), key=repr):
                     if neighbor in used:
                         continue
                     key = (p_vertex, self.graph.label(neighbor))

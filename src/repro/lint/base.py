@@ -1,0 +1,82 @@
+"""The rule contract and the process-wide rule registry.
+
+A rule is a class with a ``code`` (``DET001``), a one-line ``summary`` and a
+``check(project)`` generator yielding :class:`~repro.lint.diagnostics.Diagnostic`.
+Rules see the whole :class:`~repro.lint.project.Project`, not one file at a
+time: several contracts are inherently cross-module (the cache-key partition
+spans ``core/config.py`` and ``catalog/formats.py``; kernel-dispatch guards
+resolve across call sites in other files).
+
+Registration is import-time (``@register`` in ``repro.lint.rules``); the
+engine asks :func:`all_rules` for the selected set.  Codes are unique —
+re-registering a code is a programming error and raises immediately.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Type
+
+from .diagnostics import Diagnostic
+from .project import Module, Project
+
+__all__ = ["Rule", "register", "all_rules", "get_rule"]
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class: subclass, set ``code``/``summary``, implement ``check``."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # emission helper
+    # ------------------------------------------------------------------ #
+    def diagnostic(self, module: Module, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=module.qualpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+    def at(self, module: Module, line: int, message: str, column: int = 0) -> Diagnostic:
+        return Diagnostic(
+            path=module.qualpath,
+            line=line,
+            column=column,
+            code=self.code,
+            message=message,
+        )
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (codes are unique)."""
+    code = rule_class.code
+    if not code:
+        raise ValueError(f"rule {rule_class.__name__} has no code")
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"rule code {code} registered twice")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    from . import rules  # noqa: F401  - importing registers the shipped rules
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Optional[Rule]:
+    from . import rules  # noqa: F401
+
+    rule_class = _REGISTRY.get(code.upper())
+    return rule_class() if rule_class is not None else None

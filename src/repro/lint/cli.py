@@ -1,0 +1,94 @@
+"""The ``repro lint`` / ``reprolint`` command.
+
+Exit status: 0 clean, 1 findings, 2 usage errors (unknown selector, missing
+path) — the same ladder CI expects from ruff, so the workflow treats the two
+gates identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .base import all_rules
+from .config import LintConfig
+from .engine import lint_project
+from .project import Project
+from .reporters import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_from_args", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared option surface (used by ``repro lint`` and ``reprolint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="comma-separated rule codes or prefixes to run (e.g. DET,KERN001); "
+             "default: every registered rule",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="rule codes or prefixes to drop after selection",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report (stable shape; uploaded as a CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        dest="list_rules",
+        help="print the registered rules and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        config = LintConfig.from_options(select=args.select, ignore=args.ignore)
+        project = Project.load(paths)
+        diagnostics = lint_project(project, config)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    files_scanned = len(project.modules) + len(project.parse_failures)
+    render = render_json if args.json else render_text
+    print(render(diagnostics, files_scanned))
+    return 1 if diagnostics else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (the ``reprolint`` console script)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(list(argv) if argv is not None else None))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

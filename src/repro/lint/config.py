@@ -1,0 +1,56 @@
+"""Run configuration: which rules run (``--select`` / ``--ignore``).
+
+Selectors are code prefixes, case-insensitive: ``DET`` selects ``DET001`` and
+``DET002``; ``DET001`` selects exactly itself.  ``ignore`` is applied after
+``select``, mirroring ruff's semantics, so ``--select DET --ignore DET002``
+runs only ``DET001``.  Unknown selectors are an error (a typo that silently
+selected nothing would green-light the gate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["LintConfig"]
+
+
+def _normalise(codes: Sequence[str]) -> Tuple[str, ...]:
+    out: List[str] = []
+    for chunk in codes:
+        out.extend(c.strip().upper() for c in chunk.split(",") if c.strip())
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule filtering for one lint run."""
+
+    select: Tuple[str, ...] = field(default_factory=tuple)
+    """Code prefixes to run; empty means every registered rule."""
+
+    ignore: Tuple[str, ...] = field(default_factory=tuple)
+    """Code prefixes to drop after selection."""
+
+    @classmethod
+    def from_options(
+        cls,
+        select: Sequence[str] = (),
+        ignore: Sequence[str] = (),
+    ) -> "LintConfig":
+        return cls(select=_normalise(select), ignore=_normalise(ignore))
+
+    def enabled(self, code: str) -> bool:
+        code = code.upper()
+        if self.select and not any(code.startswith(prefix) for prefix in self.select):
+            return False
+        return not any(code.startswith(prefix) for prefix in self.ignore)
+
+    def validate(self, known_codes: Sequence[str]) -> None:
+        """Reject selectors that match no registered rule."""
+        for prefix in (*self.select, *self.ignore):
+            if not any(code.startswith(prefix) for code in known_codes):
+                raise ValueError(
+                    f"selector {prefix!r} matches no registered rule "
+                    f"(known: {', '.join(sorted(known_codes))})"
+                )

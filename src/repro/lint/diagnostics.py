@@ -1,0 +1,52 @@
+"""The one record every rule emits.
+
+A :class:`Diagnostic` is deliberately flat — code, location, message — so the
+text reporter, the JSON reporter and the test assertions all consume the same
+shape without adapters.  Ordering is total (path, line, column, code) to make
+every report byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding at one source location."""
+
+    path: str
+    """Package-relative posix path of the offending file (``repro/...``)."""
+
+    line: int
+    """1-based line of the offending node."""
+
+    column: int
+    """0-based column of the offending node."""
+
+    code: str
+    """Rule code, e.g. ``DET001``."""
+
+    message: str
+    """Human-readable statement of the violated contract."""
+
+    def to_dict(self) -> Dict[str, object]:
+        """The stable JSON shape (``repro lint --json``)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+
+#: Pseudo-code reported for files the parser refuses (syntax errors, bad
+#: encodings).  It is a real diagnostic — a gate that silently skipped an
+#: unparseable file would pass exactly when it must not — but it is not a
+#: rule, so ``--select`` cannot filter it away.
+PARSE_ERROR_CODE = "LINT001"

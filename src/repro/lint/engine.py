@@ -1,0 +1,68 @@
+"""The lint driver: load → run rules → suppress → sorted diagnostics.
+
+Kept separate from the CLI so the drift-guard test and any future pre-commit
+hook can call :func:`run_lint` / :func:`lint_project` directly and assert on
+the returned :class:`Diagnostic` list instead of parsing process output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .base import all_rules
+from .config import LintConfig
+from .diagnostics import PARSE_ERROR_CODE, Diagnostic
+from .project import Project
+from .suppress import SuppressionIndex
+
+__all__ = ["lint_project", "lint_paths", "run_lint"]
+
+
+def lint_project(
+    project: Project, config: Optional[LintConfig] = None
+) -> List[Diagnostic]:
+    """Run the selected rules over an already-loaded project."""
+    config = config or LintConfig()
+    rules = all_rules()
+    config.validate([rule.code for rule in rules])
+
+    diagnostics: List[Diagnostic] = [
+        Diagnostic(
+            path=qualpath,
+            line=line,
+            column=0,
+            code=PARSE_ERROR_CODE,
+            message=f"file does not parse: {error}",
+        )
+        for qualpath, line, error in project.parse_failures
+    ]
+    suppressions: Dict[str, SuppressionIndex] = {
+        module.qualpath: SuppressionIndex(module.lines) for module in project.modules
+    }
+    for rule in rules:
+        if not config.enabled(rule.code):
+            continue
+        for diagnostic in rule.check(project):
+            index = suppressions.get(diagnostic.path)
+            if index is not None and index.suppressed(diagnostic.line, diagnostic.code):
+                continue
+            diagnostics.append(diagnostic)
+    return sorted(diagnostics)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], config: Optional[LintConfig] = None
+) -> List[Diagnostic]:
+    """Load ``paths`` (files or directories) and lint them."""
+    project = Project.load([Path(p) for p in paths])
+    return lint_project(project, config)
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]] = ("src",),
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> List[Diagnostic]:
+    """The one-call convenience used by tests and embedding callers."""
+    return lint_paths(paths, LintConfig.from_options(select=select, ignore=ignore))

@@ -1,0 +1,147 @@
+"""Source loading and AST plumbing shared by every rule.
+
+A :class:`Module` wraps one parsed file with the queries rules keep needing:
+a parent map (``ast`` has none), ancestor walks, enclosing-function lookup,
+and the package-relative *qualpath* (``repro/graph/canonical.py``) that scope
+lists match against regardless of where the scan was rooted.
+
+A :class:`Project` is the set of modules one lint run sees.  Whole-project
+rules (CACHE001 needs ``core/config.py`` *and* ``catalog/formats.py``
+together; KERN001 resolves guards across modules) address modules by
+qualpath suffix, so they work identically on the real tree and on synthetic
+fixture trees in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Module", "Project", "qualpath_for"]
+
+
+def qualpath_for(path: Path) -> str:
+    """The package-relative posix path used for scoping and reporting.
+
+    Everything from the last ``repro`` path component onward when present
+    (``/root/repo/src/repro/graph/io.py`` → ``repro/graph/io.py``), else the
+    bare filename — fixture trees in tests have no package root.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.name
+
+
+class Module:
+    """One parsed source file plus the navigation structure rules use."""
+
+    def __init__(self, path: Path, source: str, qualpath: Optional[str] = None) -> None:
+        self.path = path
+        self.qualpath = qualpath if qualpath is not None else qualpath_for(path)
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    @classmethod
+    def from_source(cls, qualpath: str, source: str) -> "Module":
+        """A module from literal source — the test-fixture constructor."""
+        return cls(Path(qualpath), source, qualpath=qualpath)
+
+    # ------------------------------------------------------------------ #
+    # navigation
+    # ------------------------------------------------------------------ #
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The chain of enclosing nodes, innermost first (node excluded)."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The nearest enclosing function/async-function def, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def matches(self, scopes: Sequence[str]) -> bool:
+        """Whether this module falls under any of the given scope patterns.
+
+        A pattern is a qualpath suffix: ``repro/graph/canonical.py`` matches
+        that file exactly, ``repro/obs/`` matches everything under the
+        package, ``canonical.py`` matches by filename (fixture trees).
+        """
+        for scope in scopes:
+            if scope.endswith("/"):
+                if self.qualpath.startswith(scope) or f"/{scope}" in f"/{self.qualpath}":
+                    return True
+            elif self.qualpath == scope or self.qualpath.endswith(f"/{scope}"):
+                return True
+        return False
+
+
+class Project:
+    """The modules of one lint run, plus the paths that failed to parse."""
+
+    def __init__(self, modules: Sequence[Module]) -> None:
+        self.modules: List[Module] = sorted(modules, key=lambda m: m.qualpath)
+        self.parse_failures: List[Tuple[str, int, str]] = []
+
+    @classmethod
+    def load(cls, paths: Sequence[Path]) -> "Project":
+        """Parse every ``.py`` file under ``paths`` (files or directories).
+
+        Unparseable files are recorded in :attr:`parse_failures` — the engine
+        turns them into ``LINT001`` diagnostics rather than skipping them.
+        """
+        files: List[Path] = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        modules: List[Module] = []
+        project = cls([])
+        for file in files:
+            try:
+                source = file.read_text(encoding="utf-8")
+                modules.append(Module(file, source))
+            except (SyntaxError, UnicodeDecodeError, ValueError) as error:
+                line = getattr(error, "lineno", 1) or 1
+                project.parse_failures.append((qualpath_for(file), line, str(error)))
+        project.modules = sorted(modules, key=lambda m: m.qualpath)
+        return project
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "Project":
+        """A synthetic project from ``{qualpath: source}`` — the test helper."""
+        return cls([Module.from_source(q, s) for q, s in sources.items()])
+
+    def module(self, scope: str) -> Optional[Module]:
+        """The unique module matching ``scope`` (qualpath suffix), if present."""
+        for module in self.modules:
+            if module.matches([scope]):
+                return module
+        return None
+
+    def in_scope(self, scopes: Sequence[str]) -> List[Module]:
+        return [m for m in self.modules if m.matches(scopes)]

@@ -1,0 +1,64 @@
+"""Deterministic text and JSON rendering of a diagnostic list.
+
+Both reporters consume the already-sorted output of the engine, so two runs
+over the same tree produce byte-identical reports — the JSON form is uploaded
+as a CI artifact and diffed across builds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .diagnostics import Diagnostic
+
+__all__ = ["render_text", "render_json"]
+
+#: Bumped on any change to the JSON shape below; consumers refuse drift.
+REPORT_VERSION = 1
+
+
+def render_text(diagnostics: Sequence[Diagnostic], files_scanned: int) -> str:
+    """``path:line:col: CODE message`` lines plus a one-line summary."""
+    lines = [str(d) for d in diagnostics]
+    if diagnostics:
+        by_code: Dict[str, int] = {}
+        for d in diagnostics:
+            by_code[d.code] = by_code.get(d.code, 0) + 1
+        breakdown = ", ".join(f"{code} x{n}" for code, n in sorted(by_code.items()))
+        lines.append(
+            f"reprolint: {len(diagnostics)} finding(s) in {files_scanned} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"reprolint: clean ({files_scanned} file(s) checked)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], files_scanned: int) -> str:
+    """The stable machine shape (sorted keys, sorted findings)."""
+    counts: Dict[str, int] = {}
+    for d in diagnostics:
+        counts[d.code] = counts.get(d.code, 0) + 1
+    payload = {
+        "version": REPORT_VERSION,
+        "files_scanned": files_scanned,
+        "counts": {code: counts[code] for code in sorted(counts)},
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def summary_counts(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for d in diagnostics:
+        counts[d.code] = counts.get(d.code, 0) + 1
+    return counts
+
+
+# Kept as a typed list for --help and the docs table; the registry is the
+# authoritative source (base.all_rules), this is only display order.
+def known_codes() -> List[str]:
+    from .base import all_rules
+
+    return [rule.code for rule in all_rules()]

@@ -1,0 +1,73 @@
+"""AST helpers shared by the shipped rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+__all__ = [
+    "call_name",
+    "dotted_name",
+    "iter_assigned_names",
+    "node_mentions",
+    "string_elements",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The dotted callee name of a call, if statically nameable."""
+    return dotted_name(call.func)
+
+
+def iter_assigned_names(target: ast.AST) -> Iterator[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from iter_assigned_names(element)
+
+
+def node_mentions(node: ast.AST, names: Set[str], attrs: Set[str]) -> bool:
+    """Whether ``node`` references any of the plain ``names`` or ``.attrs``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in names:
+            return True
+        if isinstance(child, ast.Attribute) and child.attr in attrs:
+            return True
+    return False
+
+
+def string_elements(node: ast.AST) -> Optional[Set[str]]:
+    """The string constants of a set/frozenset/tuple/list literal expression.
+
+    Handles ``frozenset({...})`` / ``frozenset([...])`` / ``frozenset((...))``
+    wrappers and bare literals.  ``None`` when the expression holds anything
+    that is not a string constant (the caller reports it as unanalysable).
+    """
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("frozenset", "set") and len(node.args) == 1:
+            return string_elements(node.args[0])
+        return None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        out: Set[str] = set()
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.add(element.value)
+            else:
+                return None
+        return out
+    return None

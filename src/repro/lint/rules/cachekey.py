@@ -1,0 +1,153 @@
+"""CACHE001 — every ``SpiderMineConfig`` field sits in exactly one cache-key
+partition.
+
+The run cache's correctness hinges on a three-way classification declared in
+``repro/catalog/formats.py``:
+
+* ``_RESULT_NEUTRAL_CONFIG_FIELDS`` — excluded from every key (execution and
+  cache policy: provably cannot change results);
+* ``STAGE1_CONFIG_FIELDS`` — fields Stage I reads (in both the full-run and
+  the ``spiders`` key);
+* ``STAGE2_ONLY_CONFIG_FIELDS`` — fields only Stages II/III read (full-run
+  key only).
+
+A new config field that lands in *none* of the three would still be digested
+(the payload builders are deny-list-based, the safe runtime default) but its
+Stage-I relevance would be unrecorded — exactly the drift this rule makes a
+static, line-precise failure instead of a test that fires after the fact.  A
+field in *two* partitions is a contradiction; a partition naming a field that
+no longer exists is stale.  ``tests/test_catalog_formats.py`` asserts through
+this rule, making it the single source of truth for the partition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..base import Rule, register
+from ..diagnostics import Diagnostic
+from ..project import Module, Project
+from ._util import string_elements
+
+CONFIG_MODULE = "repro/core/config.py"
+FORMATS_MODULE = "repro/catalog/formats.py"
+CONFIG_CLASS = "SpiderMineConfig"
+
+#: The three partition sets formats.py must declare.
+PARTITION_SETS = (
+    "_RESULT_NEUTRAL_CONFIG_FIELDS",
+    "STAGE1_CONFIG_FIELDS",
+    "STAGE2_ONLY_CONFIG_FIELDS",
+)
+
+
+def _config_fields(module: Module) -> Dict[str, int]:
+    """``{field name: line}`` of the config dataclass's declared fields."""
+    for node in module.walk():
+        if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+            fields: Dict[str, int] = {}
+            for statement in node.body:
+                if isinstance(statement, ast.AnnAssign) and isinstance(
+                    statement.target, ast.Name
+                ):
+                    fields[statement.target.id] = statement.lineno
+            return fields
+    return {}
+
+
+def _partition_sets(
+    module: Module,
+) -> Dict[str, Tuple[Optional[Set[str]], int]]:
+    """``{set name: (elements or None if unanalysable, line)}``."""
+    found: Dict[str, Tuple[Optional[Set[str]], int]] = {}
+    for node in module.tree.body:
+        targets = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+            value = node.value
+        for name in targets:
+            if name in PARTITION_SETS and value is not None:
+                found[name] = (string_elements(value), node.lineno)
+    return found
+
+
+@register
+class CacheKeyPartitionRule(Rule):
+    """CACHE001: the config-field / cache-key partition must stay total."""
+
+    code = "CACHE001"
+    summary = (
+        "every SpiderMineConfig field must appear in exactly one of the "
+        "cache-key partitions declared in catalog/formats.py"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        config_module = project.module(CONFIG_MODULE)
+        formats_module = project.module(FORMATS_MODULE)
+        if config_module is None or formats_module is None:
+            # Linting a subset that excludes either side: nothing to check.
+            return
+        fields = _config_fields(config_module)
+        if not fields:
+            return
+        declared = _partition_sets(formats_module)
+
+        partitions: Dict[str, Set[str]] = {}
+        for set_name in PARTITION_SETS:
+            if set_name not in declared:
+                yield self.at(
+                    formats_module,
+                    1,
+                    f"partition set {set_name} is not declared; the "
+                    f"cache-key classification of config fields is "
+                    f"incomplete without it",
+                )
+                continue
+            elements, line = declared[set_name]
+            if elements is None:
+                yield self.at(
+                    formats_module,
+                    line,
+                    f"partition set {set_name} is not a literal "
+                    f"set/frozenset of field-name strings, so the "
+                    f"classification cannot be checked statically",
+                )
+                continue
+            partitions[set_name] = elements
+
+        for field_name, line in sorted(fields.items()):
+            homes = sorted(
+                name for name, members in partitions.items() if field_name in members
+            )
+            if not homes and len(partitions) == len(PARTITION_SETS):
+                yield self.at(
+                    config_module,
+                    line,
+                    f"config field {field_name!r} is not classified in any "
+                    f"cache-key partition; add it to STAGE1_CONFIG_FIELDS, "
+                    f"STAGE2_ONLY_CONFIG_FIELDS or "
+                    f"_RESULT_NEUTRAL_CONFIG_FIELDS in catalog/formats.py",
+                )
+            elif len(homes) > 1:
+                yield self.at(
+                    config_module,
+                    line,
+                    f"config field {field_name!r} appears in "
+                    f"{len(homes)} partitions ({', '.join(homes)}); the "
+                    f"classification must be disjoint",
+                )
+
+        for set_name, members in sorted(partitions.items()):
+            _, line = declared[set_name]
+            for member in sorted(members - set(fields)):
+                yield self.at(
+                    formats_module,
+                    line,
+                    f"partition set {set_name} names {member!r}, which is "
+                    f"not a field of {CONFIG_CLASS} — stale entry",
+                )

@@ -1,0 +1,266 @@
+"""DET001 / DET002 — the determinism-surface contracts.
+
+The mining pipeline's headline guarantee is bit-identical digests across
+backends, worker counts and cache hits.  Two code patterns can silently break
+it:
+
+* iterating an unordered ``set``/``frozenset`` where the iteration order
+  reaches canonical output (DET001) — element order follows element hashes,
+  which for strings change per interpreter under hash randomisation;
+* drawing from a wall clock or an unseeded entropy source inside
+  result-affecting code (DET002).
+
+Monotonic timers (``time.monotonic`` / ``time.perf_counter``) stay legal:
+they feed only ``runtime_seconds``-style fields, which the digest machinery
+(:func:`repro.catalog.formats.result_digest`) strips.  Seeded RNGs
+(``random.Random(seed)``) stay legal for the same reason the paper's seed
+draw is reproducible.  ``hash()`` and ``id()`` are banned outright in
+result-affecting modules: both are process-dependent, and the repo's history
+has a fixed bug for each (`id`-keyed memoisation is fine in the *cache*
+layer, which is result-neutral and out of this rule's scope).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..base import Rule, register
+from ..diagnostics import Diagnostic
+from ..project import Module, Project
+from ._util import call_name, iter_assigned_names
+
+#: Where set-iteration order can reach canonical output: the canonicaliser,
+#: the on-disk formats, and the Stage-I mine/merge paths whose ordering *is*
+#: the serial==parallel contract.
+DETERMINISM_SURFACE = (
+    "repro/graph/canonical.py",
+    "repro/catalog/formats.py",
+    "repro/parallel/driver.py",
+    "repro/core/spider_miner.py",
+    "repro/patterns/spider.py",
+)
+
+#: Modules whose behaviour reaches mining results (and therefore digests).
+#: The catalog/serving/obs layers are result-neutral by design and excluded.
+RESULT_AFFECTING = (
+    "repro/core/",
+    "repro/patterns/",
+    "repro/graph/",
+    "repro/parallel/driver.py",
+)
+
+#: Methods known to return unordered sets in this codebase.
+_SET_RETURNING_METHODS = {
+    "neighbors",          # GraphView.neighbors -> frozenset
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+}
+
+#: Callables that consume an iterable order-insensitively — feeding them a
+#: set is fine, the result cannot leak iteration order.
+_ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted", "set", "frozenset", "sum", "min", "max", "any", "all", "len",
+    "Counter", "collections.Counter",
+}
+
+
+def _is_set_like(node: ast.AST, set_names: Set[str]) -> bool:
+    """Whether ``node`` statically evaluates to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr in _SET_RETURNING_METHODS
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_like(node.left, set_names) or _is_set_like(
+            node.right, set_names
+        )
+    return False
+
+
+def _set_bound_names(scope: ast.AST) -> Set[str]:
+    """Names bound to set-like values anywhere in ``scope`` (one level deep).
+
+    Deliberately flow-insensitive: a name that is *ever* a set in the scope is
+    treated as a set at every use — rebinding a set name to a list mid-scope
+    is exactly the kind of cleverness the determinism surface should not host.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(scope):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value: Optional[ast.AST] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if _is_set_like(value, names):
+            for target in targets:
+                names.update(iter_assigned_names(target))
+    return names
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET001: set iteration feeding the determinism surface lacks sorted()."""
+
+    code = "DET001"
+    summary = (
+        "unordered set/frozenset iteration on the determinism surface "
+        "must go through sorted() (or an order-insensitive consumer)"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for module in project.in_scope(DETERMINISM_SURFACE):
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Diagnostic]:
+        scopes: Dict[int, Set[str]] = {}
+
+        def set_names_for(node: ast.AST) -> Set[str]:
+            function = module.enclosing_function(node) or module.tree
+            key = id(function)
+            if key not in scopes:
+                scopes[key] = _set_bound_names(function)
+            return scopes[key]
+
+        for node in module.walk():
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_like(node.iter, set_names_for(node)):
+                    yield self.diagnostic(
+                        module,
+                        node.iter,
+                        "for-loop iterates an unordered set; iteration order "
+                        "reaches the determinism surface — wrap in sorted()",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if self._consumer_is_order_insensitive(module, node):
+                    continue
+                for generator in node.generators:
+                    if _is_set_like(generator.iter, set_names_for(node)):
+                        yield self.diagnostic(
+                            module,
+                            generator.iter,
+                            "comprehension iterates an unordered set into an "
+                            "order-sensitive result — wrap in sorted()",
+                        )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                is_join = (
+                    isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+                )
+                if (name in ("list", "tuple", "enumerate") or is_join) and node.args:
+                    if _is_set_like(node.args[0], set_names_for(node)):
+                        if not self._consumer_is_order_insensitive(module, node):
+                            yield self.diagnostic(
+                                module,
+                                node.args[0],
+                                "materialising an unordered set in "
+                                "iteration order — wrap in sorted()",
+                            )
+
+    @staticmethod
+    def _consumer_is_order_insensitive(module: Module, node: ast.AST) -> bool:
+        """Whether the nearest consuming call absorbs iteration order."""
+        parent = module.parent(node)
+        if isinstance(parent, ast.Call) and node in parent.args:
+            name = call_name(parent)
+            if name in _ORDER_INSENSITIVE_CONSUMERS:
+                return True
+            if isinstance(parent.func, ast.Attribute) and parent.func.attr == "join":
+                return False
+        return False
+
+
+@register
+class NondeterminismSourceRule(Rule):
+    """DET002: banned nondeterminism sources in result-affecting modules."""
+
+    code = "DET002"
+    summary = (
+        "wall clocks, unseeded RNGs, os entropy, hash() and id() are "
+        "banned in result-affecting modules"
+    )
+
+    _BANNED_EXACT = {
+        "time.time": "wall-clock time.time() is nondeterministic; use a "
+                     "monotonic timer for durations (digest-stripped) or "
+                     "thread a value in",
+        "time.time_ns": "wall-clock time.time_ns() is nondeterministic",
+        "os.urandom": "os.urandom() draws OS entropy; results become "
+                      "irreproducible",
+    }
+    _BANNED_SUFFIX = {
+        "datetime.now": "datetime.now() is wall-clock-dependent",
+        "datetime.utcnow": "datetime.utcnow() is wall-clock-dependent",
+        "datetime.today": "datetime.today() is wall-clock-dependent",
+        "date.today": "date.today() is wall-clock-dependent",
+        "uuid.uuid1": "uuid1() mixes clock and MAC address",
+        "uuid.uuid4": "uuid4() draws OS entropy",
+    }
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for module in project.in_scope(RESULT_AFFECTING):
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Diagnostic]:
+        random_aliases = self._random_module_aliases(module)
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            diagnosis = self._diagnose(name, random_aliases)
+            if diagnosis is not None:
+                yield self.diagnostic(module, node, diagnosis)
+
+    def _diagnose(self, name: str, random_aliases: Set[str]) -> Optional[str]:
+        if name in self._BANNED_EXACT:
+            return self._BANNED_EXACT[name]
+        for suffix, message in self._BANNED_SUFFIX.items():
+            if name == suffix or name.endswith(f".{suffix}"):
+                return message
+        if name.startswith("secrets."):
+            return "the secrets module draws OS entropy; results become " \
+                   "irreproducible"
+        root, _, rest = name.partition(".")
+        if root in random_aliases and rest and rest != "Random":
+            return (
+                f"module-level random.{rest}() uses the shared unseeded RNG; "
+                "construct random.Random(seed) and thread it through"
+            )
+        if name == "hash":
+            return (
+                "hash() is process-dependent for str keys (hash "
+                "randomisation); key on the value itself or a canonical code"
+            )
+        if name == "id":
+            return (
+                "id() is process-dependent; keying or ordering by object "
+                "identity breaks cross-process determinism"
+            )
+        return None
+
+    @staticmethod
+    def _random_module_aliases(module: Module) -> Set[str]:
+        aliases: Set[str] = set()
+        for node in module.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+        return aliases

@@ -1,0 +1,198 @@
+"""LOCK001 — lock discipline for shared mutable state.
+
+Applies to any class that owns a ``self._lock`` (``MetricsRegistry``,
+``LRUCache``, and whatever the serving tier grows next).  The discipline has
+two sides:
+
+* **Mutate only under the lock.**  An attribute the class ever mutates inside
+  a ``with self._lock:`` block is *lock-owned*; mutating it anywhere else
+  (``__init__`` excepted — construction happens-before sharing) is a data
+  race waiting for a second thread.
+* **Never block while holding it.**  File I/O, sleeps, matcher searches and
+  payload loads under the lock turn every other thread's one-dict-update
+  critical section into a stall; the codebase's pattern (see
+  ``LRUCache.get_or_build``) is to drop the lock, do the slow work, then
+  re-take it to publish.
+
+The rule derives the lock-owned attribute set from the class's own usage
+rather than a hand-list, so it follows refactors without edits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..base import Rule, register
+from ..diagnostics import Diagnostic
+from ..project import Module, Project
+from ._util import call_name
+
+LOCK_ATTR = "_lock"
+
+#: Method names whose call mutates the receiver in place.
+_MUTATORS = {
+    "add", "append", "extend", "insert", "pop", "popitem", "remove",
+    "discard", "clear", "update", "setdefault", "move_to_end",
+}
+
+#: Calls that block (I/O, sleeps) or do unbounded CPU work (matcher search,
+#: payload materialisation) — never legal while a lock is held.
+_BLOCKING_NAME_CALLS = {"open", "print", "input"}
+_BLOCKING_METHOD_CALLS = {
+    "sleep", "read", "write", "readline", "readlines", "recv", "send",
+    "find_embeddings", "get_run_payload", "load_pattern", "mine",
+    "contains", "contains_batch",
+}
+
+
+def _is_lock_with(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``with self._lock:`` (or ``with _lock:``) block."""
+    if not isinstance(node, (ast.With, ast.AsyncWith)):
+        return False
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Attribute) and expr.attr == LOCK_ATTR:
+            return True
+        if isinstance(expr, ast.Name) and expr.id == LOCK_ATTR:
+            return True
+    return False
+
+
+def _self_attr_target(node: ast.AST) -> Optional[str]:
+    """The ``self.X`` attribute a store/mutation target roots at, if any."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutations(scope: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """``(attr, node)`` for every ``self.X`` mutation inside ``scope``."""
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _self_attr_target(target)
+                if attr is not None:
+                    yield attr, node
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            attr = _self_attr_target(node.target)
+            if attr is not None:
+                yield attr, node
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+        ):
+            attr = _self_attr_target(node.func.value)
+            if attr is not None:
+                yield attr, node
+
+
+@register
+class LockDisciplineRule(Rule):
+    """LOCK001: lock-owned attrs mutate under the lock; no blocking inside."""
+
+    code = "LOCK001"
+    summary = (
+        "attributes mutated under `with self._lock:` must always be; "
+        "no blocking call may run while the lock is held"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for module in project.modules:
+            yield from self._check_lock_owned_attrs(module)
+            yield from self._check_blocking_under_lock(module)
+
+    # ------------------------------------------------------------------ #
+    # side one: lock-owned attributes
+    # ------------------------------------------------------------------ #
+    def _check_lock_owned_attrs(self, module: Module) -> Iterator[Diagnostic]:
+        for class_def in module.walk():
+            if not isinstance(class_def, ast.ClassDef):
+                continue
+            if not self._owns_lock(class_def):
+                continue
+            owned = self._lock_owned_attrs(module, class_def)
+            if not owned:
+                continue
+            for attr, node in _mutations(class_def):
+                if attr not in owned or attr == LOCK_ATTR:
+                    continue
+                function = module.enclosing_function(node)
+                if function is not None and function.name == "__init__":
+                    continue  # construction happens-before sharing
+                if self._under_lock(module, node):
+                    continue
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"{class_def.name}.{attr} is lock-owned (mutated under "
+                    f"`with self.{LOCK_ATTR}:` elsewhere) but is mutated "
+                    f"here without the lock",
+                )
+
+    @staticmethod
+    def _owns_lock(class_def: ast.ClassDef) -> bool:
+        for node in ast.walk(class_def):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if _self_attr_target(target) == LOCK_ATTR:
+                        return True
+        return False
+
+    @staticmethod
+    def _lock_owned_attrs(module: Module, class_def: ast.ClassDef) -> Set[str]:
+        owned: Set[str] = set()
+        for attr, node in _mutations(class_def):
+            if attr != LOCK_ATTR and LockDisciplineRule._under_lock(module, node):
+                owned.add(attr)
+        return owned
+
+    @staticmethod
+    def _under_lock(module: Module, node: ast.AST) -> bool:
+        enclosing = module.enclosing_function(node)
+        for ancestor in module.ancestors(node):
+            if _is_lock_with(ancestor):
+                # The with-block must belong to the same function: a nested
+                # def executes later, when the lock may be long released.
+                return module.enclosing_function(ancestor) is enclosing
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+    # ------------------------------------------------------------------ #
+    # side two: nothing blocking while the lock is held
+    # ------------------------------------------------------------------ #
+    def _check_blocking_under_lock(self, module: Module) -> Iterator[Diagnostic]:
+        lock_withs: List[ast.AST] = [n for n in module.walk() if _is_lock_with(n)]
+        for with_node in lock_withs:
+            with_function = module.enclosing_function(with_node)
+            for node in ast.walk(with_node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if module.enclosing_function(node) is not with_function:
+                    continue  # inside a nested def: runs after release
+                name = call_name(node)
+                blocking = (
+                    name in _BLOCKING_NAME_CALLS
+                    or (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _BLOCKING_METHOD_CALLS
+                    )
+                )
+                if blocking:
+                    what = name or node.func.attr
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"blocking call {what}() while holding "
+                        f"self.{LOCK_ATTR}; drop the lock, do the slow work, "
+                        f"re-take it to publish (see LRUCache.get_or_build)",
+                    )

@@ -1,0 +1,177 @@
+"""OBS001 — telemetry neutrality, statically.
+
+Two halves of one contract (PR 8's headline guarantee: telemetry can never
+move a cache key or a mining result):
+
+* nothing under ``repro/obs/`` may import or reference ``SpiderMineConfig``
+  (or the ``repro.core.config`` module at all).  The registry and tracer live
+  in process-local globals precisely so the config — and with it every cache
+  key — cannot see them; an import in the other direction would be the first
+  step of the coupling this forbids;
+* hot-path instrumentation must use the documented cheap-check idiom::
+
+      registry = get_registry()
+      if registry.enabled:
+          registry.counter("...")
+
+  so that disabled telemetry costs one attribute check.  A bare
+  ``get_registry().counter(...)`` is a no-op when off, but it still pays the
+  call and argument construction on every hot iteration — the idiom is the
+  budget, not just style.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..base import Rule, register
+from ..diagnostics import Diagnostic
+from ..project import Module, Project
+
+OBS_PACKAGE = "repro/obs/"
+CONFIG_CLASS = "SpiderMineConfig"
+
+#: Metric-recording methods whose hot-path call sites need the cheap check.
+METRIC_METHODS = {"counter", "gauge", "observe", "publish", "merge_counters"}
+
+
+def _mentions_enabled(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr == "enabled":
+            return True
+        if isinstance(child, ast.Name) and child.id == "enabled":
+            return True
+    return False
+
+
+@register
+class TelemetryNeutralityRule(Rule):
+    """OBS001: obs stays config-blind; instrumentation uses the cheap check."""
+
+    code = "OBS001"
+    summary = (
+        "repro.obs must not reference SpiderMineConfig, and registry "
+        "call sites must guard with `if registry.enabled:`"
+    )
+
+    def check(self, project: Project) -> Iterator[Diagnostic]:
+        for module in project.modules:
+            if module.matches([OBS_PACKAGE]):
+                yield from self._check_obs_module(module)
+            else:
+                yield from self._check_instrumentation(module)
+
+    # ------------------------------------------------------------------ #
+    # half one: the obs package is config-blind
+    # ------------------------------------------------------------------ #
+    def _check_obs_module(self, module: Module) -> Iterator[Diagnostic]:
+        for node in module.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if "core.config" in alias.name:
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            "repro.obs must not import the config module; "
+                            "telemetry is result-neutral by construction",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                from_config = node.module is not None and node.module.endswith(
+                    "core.config"
+                )
+                names = {alias.name for alias in node.names}
+                if from_config or CONFIG_CLASS in names:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"repro.obs must not import {CONFIG_CLASS}; the "
+                        f"registry/tracer live in process globals so cache "
+                        f"keys cannot move",
+                    )
+            elif isinstance(node, ast.Name) and node.id == CONFIG_CLASS:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"repro.obs must not reference {CONFIG_CLASS}",
+                )
+            elif isinstance(node, ast.Attribute) and node.attr == CONFIG_CLASS:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"repro.obs must not reference {CONFIG_CLASS}",
+                )
+
+    # ------------------------------------------------------------------ #
+    # half two: the registry.enabled cheap check
+    # ------------------------------------------------------------------ #
+    def _check_instrumentation(self, module: Module) -> Iterator[Diagnostic]:
+        for function in module.walk():
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            registry_names = self._registry_locals(function)
+            if not registry_names:
+                continue
+            for node in ast.walk(function):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in METRIC_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in registry_names
+                ):
+                    continue
+                if module.enclosing_function(node) is not function:
+                    continue  # a nested def has its own budget
+                if not self._is_guarded(module, function, node):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"registry.{node.func.attr}() on the process "
+                        f"registry without the `if registry.enabled:` cheap "
+                        f"check — disabled telemetry must cost one attribute "
+                        f"load",
+                    )
+
+    @staticmethod
+    def _registry_locals(function: ast.AST) -> Set[str]:
+        """Names bound from ``get_registry()`` inside ``function``."""
+        names: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                callee = node.value.func
+                callee_name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else None
+                )
+                if callee_name == "get_registry":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_guarded(module: Module, function: ast.AST, call: ast.Call) -> bool:
+        for ancestor in module.ancestors(call):
+            if ancestor is function:
+                break
+            if isinstance(ancestor, (ast.If, ast.IfExp, ast.While)):
+                if _mentions_enabled(ancestor.test):
+                    return True
+            elif isinstance(ancestor, ast.BoolOp) and _mentions_enabled(ancestor):
+                return True
+        # Early-return spelling: `if not registry.enabled: return` before the
+        # call, directly in the function body.
+        for statement in function.body:
+            if statement.lineno >= call.lineno:
+                break
+            if (
+                isinstance(statement, ast.If)
+                and _mentions_enabled(statement.test)
+                and any(isinstance(s, (ast.Return, ast.Raise)) for s in statement.body)
+            ):
+                return True
+        return False

@@ -113,19 +113,43 @@ class TestConfigDigest:
             SpiderMineConfig(min_support=2, k=4, radius=2)
         )
 
-    def test_stage1_key_is_deny_list_based(self):
-        """A new config field lands in BOTH cache keys until classified.
+    def test_config_field_partition_via_reprolint(self):
+        """Every config field is classified in exactly one cache-key partition.
 
-        If this test fails because you added a SpiderMineConfig field: either
-        Stage I reads it (nothing to do — the key already covers it, update
-        the expected set below) or it is Stage-II/III-only (add it to
-        STAGE2_ONLY_CONFIG_FIELDS in catalog/formats.py, then update below).
-        Never let a Stage-I-relevant field into STAGE2_ONLY_CONFIG_FIELDS:
-        that would serve stale spiders.
+        The single source of truth for this invariant is reprolint's CACHE001
+        rule (``repro.lint.rules.cachekey``), which checks the declared
+        partition sets in catalog/formats.py against SpiderMineConfig
+        statically.  If this fails because you added a SpiderMineConfig
+        field: add it to exactly one of STAGE1_CONFIG_FIELDS,
+        STAGE2_ONLY_CONFIG_FIELDS or _RESULT_NEUTRAL_CONFIG_FIELDS.  Never
+        let a Stage-I-relevant field into STAGE2_ONLY_CONFIG_FIELDS: that
+        would serve stale spiders.
+        """
+        from repro.lint import LintConfig, Project, lint_project
+
+        src_root = Path(__file__).resolve().parents[1] / "src" / "repro"
+        project = Project.load(
+            [
+                src_root / "core" / "config.py",
+                src_root / "catalog" / "formats.py",
+            ]
+        )
+        diagnostics = lint_project(project, LintConfig(select=("CACHE001",)))
+        assert diagnostics == [], "\n".join(str(d) for d in diagnostics)
+
+    def test_stage1_key_is_deny_list_based(self):
+        """Runtime check that the payload matches the declared partition.
+
+        Thin wrapper over the CACHE001-declared sets: the payload builders
+        are deny-list-based (a new field lands in BOTH keys until someone
+        classifies it), so the Stage-I payload must equal the declared
+        STAGE1_CONFIG_FIELDS exactly.
         """
         from dataclasses import fields as dataclass_fields
 
         from repro.catalog.formats import (
+            _RESULT_NEUTRAL_CONFIG_FIELDS,
+            STAGE1_CONFIG_FIELDS,
             STAGE2_ONLY_CONFIG_FIELDS,
             stage1_config_payload,
         )
@@ -134,16 +158,9 @@ class TestConfigDigest:
         payload = stage1_config_payload(config)
         every_field = {f.name for f in dataclass_fields(config)}
         assert set(payload) == (
-            every_field - {"execution", "cache"} - STAGE2_ONLY_CONFIG_FIELDS
+            every_field - _RESULT_NEUTRAL_CONFIG_FIELDS - STAGE2_ONLY_CONFIG_FIELDS
         )
-        assert set(payload) == {
-            "min_support",
-            "radius",
-            "max_spider_size",
-            "max_spiders",
-            "max_embeddings_per_pattern",
-            "support_measure",
-        }
+        assert set(payload) == STAGE1_CONFIG_FIELDS
 
     def test_support_measure_serialised_by_value(self):
         config = SpiderMineConfig(support_measure=SupportMeasure.EDGE_DISJOINT)

@@ -1,0 +1,146 @@
+"""Scrape stability under concurrency (the observability regression gate).
+
+The serving tier's contract: ``/metrics`` and ``/stats`` are *unmetered*
+(scraping them never changes what they return) and the server's registry is
+private when process telemetry is off — so a mine running elsewhere in the
+process cannot leak into the scrape.  This suite pins both properties the way
+an operator would notice them breaking: sixteen concurrent scrapes during a
+live mine must come back byte-identical.
+
+Rides along: the ``--workers`` CLI validation (a bad worker count must die
+with an actionable message before any mining work starts).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro import open_catalog
+from repro.cli import main as cli_main
+from repro.graph import synthetic_single_graph
+from repro.obs import get_registry
+
+
+def _mining_graph(seed: int):
+    return synthetic_single_graph(
+        num_vertices=150, num_labels=20, average_degree=2.0,
+        num_large_patterns=1, large_pattern_vertices=9, large_pattern_support=2,
+        num_small_patterns=2, small_pattern_vertices=3, small_pattern_support=2,
+        seed=seed,
+    ).graph
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        assert resp.status == 200
+        return resp.read()
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    store = tmp_path_factory.mktemp("served-conc") / "cat"
+    repro.mine(_mining_graph(11), min_support=2, k=4, d_max=6, catalog=store)
+    catalog = open_catalog(store, read_only=True)
+    handle = catalog.serve(port=0, background=True)
+    yield handle
+    handle.close()
+
+
+class TestScrapeStability:
+    def test_process_registry_is_disabled(self):
+        # The premise of the isolation below: telemetry defaults to the
+        # NullRegistry, so the server builds its own private registry.
+        assert not get_registry().enabled
+
+    def test_metrics_and_stats_stable_under_concurrent_scrape_during_mine(
+        self, served
+    ):
+        """16-way concurrent /metrics and /stats during a live mine.
+
+        Every /metrics response must be byte-identical — scrapes are
+        unmetered and the mine (separate graph, cache off, Null process
+        registry) has no path into the server's private registry.  /stats
+        carries two honestly volatile fields (requests_served,
+        uptime_seconds); everything else must agree across all responses.
+        """
+        mine_done = threading.Event()
+        mine_error = []
+
+        def background_mine():
+            try:
+                repro.mine(_mining_graph(23), min_support=2, k=3, d_max=4)
+            except Exception as error:  # pragma: no cover - diagnostic only
+                mine_error.append(error)
+            finally:
+                mine_done.set()
+
+        baseline_metrics = _get(f"{served.url}/metrics")
+
+        miner = threading.Thread(target=background_mine)
+        miner.start()
+        try:
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                metrics_bodies = list(
+                    pool.map(lambda _: _get(f"{served.url}/metrics"), range(16))
+                )
+                stats_bodies = list(
+                    pool.map(lambda _: _get(f"{served.url}/stats"), range(16))
+                )
+        finally:
+            miner.join(timeout=120)
+        assert mine_done.is_set() and not mine_error, mine_error
+
+        assert len(set(metrics_bodies)) == 1, "concurrent /metrics diverged"
+        assert metrics_bodies[0] == baseline_metrics, (
+            "scraping /metrics (or a mine in another thread) changed /metrics"
+        )
+        after_metrics = _get(f"{served.url}/metrics")
+        assert after_metrics == baseline_metrics
+
+        stable_sections = []
+        for body in stats_bodies:
+            payload = json.loads(body)
+            assert set(payload) == {
+                "metrics", "caches", "index_stats",
+                "requests_served", "uptime_seconds",
+            }
+            stable_sections.append(
+                (payload["metrics"], payload["caches"], payload["index_stats"])
+            )
+        assert all(s == stable_sections[0] for s in stable_sections), (
+            "concurrent /stats diverged outside the volatile fields"
+        )
+
+    def test_scrapes_are_not_counted_in_http_metrics(self, served):
+        # /metrics and /stats are in the server's _UNMETERED set: their
+        # request counters must not exist no matter how often they are hit.
+        for _ in range(3):
+            _get(f"{served.url}/metrics")
+        flat = json.loads(_get(f"{served.url}/metrics"))
+        scrape_keys = [k for k in flat if "metrics" in k or "stats" in k]
+        assert scrape_keys == [], scrape_keys
+
+
+class TestWorkersValidation:
+    def run_mine(self, *argv):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["mine", "ignored.lg", *argv])
+        return str(excinfo.value)
+
+    def test_zero_workers_is_rejected_before_loading(self):
+        message = self.run_mine("--workers", "0")
+        assert "--workers must be at least 1" in message
+
+    def test_negative_workers_is_rejected(self):
+        message = self.run_mine("--workers", "-3")
+        assert "--workers must be at least 1" in message
+
+    def test_oversubscription_is_rejected(self):
+        message = self.run_mine("--workers", "4096")
+        assert "exceeds" in message and "CPU" in message
